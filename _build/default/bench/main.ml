@@ -1,0 +1,90 @@
+(* Benchmark harness: regenerates every table and figure of the
+   paper's evaluation (see DESIGN.md section 3 for the index).
+
+   Usage:
+     dune exec bench/main.exe                 # all figures, quick scale
+     dune exec bench/main.exe -- --full       # paper-like scale (slow)
+     dune exec bench/main.exe -- fig9 fig13   # a subset
+     dune exec bench/main.exe -- micro        # bechamel micro-benchmarks
+
+   Throughputs are simulated Mops/s on the modelled DCPMM machine;
+   shapes (ordering, ratios, crossovers), not absolute numbers, are
+   the comparison target against the paper. *)
+
+let microbench () =
+  (* Bechamel micro-benchmarks: host-side cost of one simulated
+     operation per index (single-threaded, small working set).  One
+     Test.make per measured system. *)
+  let open Bechamel in
+  let scale = Experiments.Scale.tiny in
+  let make_op sys =
+    let machine = Nvm.Machine.create ~numa_count:2 () in
+    let index, _service = Experiments.Factory.make machine ~scale sys in
+    for i = 0 to 4_095 do
+      Baselines.Index_intf.insert index (Pactree.Key.of_int i) i
+    done;
+    let counter = ref 0 in
+    Staged.stage (fun () ->
+        counter := (!counter + 7919) land 0xFFF;
+        ignore (Baselines.Index_intf.lookup index (Pactree.Key.of_int !counter)))
+  in
+  let test_of sys = Test.make ~name:(Experiments.Factory.name sys) (make_op sys) in
+  let test =
+    Test.make_grouped ~name:"lookup-4k" (List.map test_of Experiments.Factory.all)
+  in
+  let benchmark () =
+    let instances = Toolkit.Instance.[ monotonic_clock ] in
+    let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
+    Benchmark.all cfg instances test
+  in
+  let analyze results =
+    let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+    Analyze.all ols Toolkit.Instance.monotonic_clock results
+  in
+  Format.printf "@.=== micro: host-side cost per simulated lookup ===@.";
+  let results = analyze (benchmark ()) in
+  Hashtbl.iter
+    (fun name ols ->
+      match Bechamel.Analyze.OLS.estimates ols with
+      | Some [ est ] -> Format.printf "%-24s %10.0f ns/op@." name est
+      | Some _ | None -> Format.printf "%-24s (no estimate)@." name)
+    results
+
+let all_figures =
+  [
+    ("fig2", Experiments.Figures.fig2);
+    ("fig3", Experiments.Figures.fig3);
+    ("fig4", Experiments.Figures.fig4);
+    ("fig5", Experiments.Figures.fig5);
+    ("fig6", Experiments.Figures.fig6);
+    ("fig9", Experiments.Figures.fig9);
+    ("fig10", Experiments.Figures.fig10);
+    ("fig11", Experiments.Figures.fig11);
+    ("fig12", Experiments.Figures.fig12);
+    ("fig13", Experiments.Figures.fig13);
+    ("fig14", Experiments.Figures.fig14);
+    ("fig15", Experiments.Figures.fig15);
+    ("eadr", Experiments.Figures.eadr);
+    ("fh5", Experiments.Figures.fh5);
+    ("sec6_7", Experiments.Figures.sec6_7);
+    ("sec6_8", Experiments.Figures.sec6_8);
+  ]
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let full = List.mem "--full" args in
+  let scale = if full then Experiments.Scale.full else Experiments.Scale.quick in
+  let selected = List.filter (fun a -> not (String.length a > 1 && a.[0] = '-')) args in
+  let wants name = selected = [] || List.mem name selected in
+  Format.printf "PACTree benchmark suite (%s scale: %d keys, %d ops)@."
+    (if full then "full" else "quick")
+    scale.Experiments.Scale.keys scale.Experiments.Scale.ops;
+  List.iter
+    (fun (name, f) ->
+      if wants name then begin
+        let t0 = Unix.gettimeofday () in
+        f scale;
+        Format.printf "[%s took %.1fs host time]@." name (Unix.gettimeofday () -. t0)
+      end)
+    all_figures;
+  if wants "micro" then microbench ()

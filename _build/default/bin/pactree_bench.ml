@@ -1,0 +1,156 @@
+(* Command-line driver for ad-hoc experiments on the simulated NVM
+   machine.
+
+     pactree_bench ycsb --index pactree --mix a --threads 28 ...
+     pactree_bench figure fig10 --full
+     pactree_bench crash --rounds 50 *)
+
+open Cmdliner
+
+let index_arg =
+  let index_conv =
+    Arg.conv
+      ( (fun s ->
+          match Experiments.Factory.of_string s with
+          | Some sys -> Ok sys
+          | None -> Error (`Msg ("unknown index: " ^ s))),
+        fun ppf sys -> Format.pp_print_string ppf (Experiments.Factory.name sys) )
+  in
+  Arg.(
+    value
+    & opt index_conv Experiments.Factory.Pactree_sys
+    & info [ "index" ] ~docv:"INDEX"
+        ~doc:"Index to benchmark: pactree, pdlart, fastfair, bztree, fptree.")
+
+let mix_arg =
+  let mix_conv =
+    Arg.conv
+      ( (fun s ->
+          match Workload.Ycsb.mix_of_string s with
+          | Some m -> Ok m
+          | None -> Error (`Msg ("unknown mix: " ^ s))),
+        Workload.Ycsb.pp_mix )
+  in
+  Arg.(
+    value
+    & opt mix_conv Workload.Ycsb.Workload_a
+    & info [ "mix" ] ~docv:"MIX" ~doc:"YCSB mix: la, a, b, c, e, skew-insert.")
+
+let keys_arg =
+  Arg.(value & opt int 100_000 & info [ "keys" ] ~doc:"Pre-loaded key count.")
+
+let ops_arg = Arg.(value & opt int 100_000 & info [ "ops" ] ~doc:"Operations to run.")
+
+let threads_arg =
+  Arg.(value & opt int 28 & info [ "threads" ] ~doc:"Simulated worker threads.")
+
+let theta_arg =
+  Arg.(
+    value & opt float 0.99
+    & info [ "theta" ] ~doc:"Zipfian skew (0 = uniform, YCSB default 0.99).")
+
+let string_keys_arg =
+  Arg.(value & flag & info [ "string-keys" ] ~doc:"Use 23-byte string keys.")
+
+let protocol_arg =
+  Arg.(
+    value & flag
+    & info [ "directory" ]
+        ~doc:"Use the directory cache-coherence protocol (default: snoop).")
+
+let low_bw_arg =
+  Arg.(
+    value & flag
+    & info [ "low-bandwidth" ] ~doc:"Use the low-bandwidth NVM machine profile (6.2).")
+
+let run_ycsb sys mix keys ops threads theta string_keys directory low_bw =
+  let protocol = if directory then Nvm.Config.Directory else Nvm.Config.Snoop in
+  let profile = if low_bw then Nvm.Config.dcpmm_low_bw else Nvm.Config.dcpmm in
+  let machine = Nvm.Machine.create ~profile ~protocol ~numa_count:2 () in
+  let scale = Experiments.Scale.make ~keys ~ops ~thread_counts:[] in
+  let index, service = Experiments.Factory.make machine ~string_keys ~scale sys in
+  let kind =
+    if string_keys then Workload.Keyset.String_keys else Workload.Keyset.Int_keys
+  in
+  let r =
+    Workload.Runner.run ~machine ~index ?service ~mix ~kind ~loaded:keys ~ops ~threads
+      ~theta ()
+  in
+  Format.printf "index      : %s@." (Experiments.Factory.name sys);
+  Format.printf "workload   : %a, %d keys, %d ops, %d threads, theta %.2f@."
+    Workload.Ycsb.pp_mix mix keys ops threads theta;
+  Format.printf "throughput : %.3f Mops/s (simulated)@." (Workload.Runner.mops r);
+  Format.printf "elapsed    : %.3f ms (simulated)@." (r.Workload.Runner.elapsed *. 1e3);
+  let p q = Workload.Latency.percentile r.Workload.Runner.latency q *. 1e6 in
+  Format.printf "latency    : p50 %.1f us, p99 %.1f us, p99.9 %.1f us, p99.99 %.1f us@."
+    (p 50.) (p 99.) (p 99.9) (p 99.99);
+  Format.printf "NVM traffic: %.1f MB read, %.1f MB written, %d flushes, %d fences@."
+    (float_of_int (Nvm.Stats.total_read_bytes r.Workload.Runner.nvm) /. 1e6)
+    (float_of_int (Nvm.Stats.total_write_bytes r.Workload.Runner.nvm) /. 1e6)
+    r.Workload.Runner.nvm.Nvm.Stats.flushes r.Workload.Runner.nvm.Nvm.Stats.fences
+
+let ycsb_cmd =
+  let doc = "Run one YCSB workload against one index." in
+  Cmd.v
+    (Cmd.info "ycsb" ~doc)
+    Term.(
+      const run_ycsb $ index_arg $ mix_arg $ keys_arg $ ops_arg $ threads_arg
+      $ theta_arg $ string_keys_arg $ protocol_arg $ low_bw_arg)
+
+let figure_names =
+  [
+    "fig2"; "fig3"; "fig4"; "fig5"; "fig6"; "fig9"; "fig10"; "fig11"; "fig12"; "fig13";
+    "fig14"; "fig15"; "eadr"; "fh5"; "sec6_7"; "sec6_8";
+  ]
+
+let run_figure name full =
+  let scale = if full then Experiments.Scale.full else Experiments.Scale.quick in
+  let f =
+    match name with
+    | "fig2" -> Experiments.Figures.fig2
+    | "fig3" -> Experiments.Figures.fig3
+    | "fig4" -> Experiments.Figures.fig4
+    | "fig5" -> Experiments.Figures.fig5
+    | "fig6" -> Experiments.Figures.fig6
+    | "fig9" -> Experiments.Figures.fig9
+    | "fig10" -> Experiments.Figures.fig10
+    | "fig11" -> Experiments.Figures.fig11
+    | "fig12" -> Experiments.Figures.fig12
+    | "fig13" -> Experiments.Figures.fig13
+    | "fig14" -> Experiments.Figures.fig14
+    | "fig15" -> Experiments.Figures.fig15
+    | "eadr" -> Experiments.Figures.eadr
+    | "fh5" -> Experiments.Figures.fh5
+    | "sec6_7" -> Experiments.Figures.sec6_7
+    | "sec6_8" -> Experiments.Figures.sec6_8
+    | other -> Printf.ksprintf failwith "unknown figure %S" other
+  in
+  f scale
+
+let figure_cmd =
+  let doc = "Regenerate one of the paper's figures (see DESIGN.md)." in
+  let name_arg =
+    Arg.(
+      required
+      & pos 0 (some (enum (List.map (fun n -> (n, n)) figure_names))) None
+      & info [] ~docv:"FIGURE")
+  in
+  let full_arg = Arg.(value & flag & info [ "full" ] ~doc:"Paper-like scale (slow).") in
+  Cmd.v (Cmd.info "figure" ~doc) Term.(const run_figure $ name_arg $ full_arg)
+
+let run_crash rounds =
+  let scale =
+    { Experiments.Scale.quick with Experiments.Scale.keys = 20_000; ops = 20_000 }
+  in
+  ignore rounds;
+  Experiments.Figures.sec6_8 scale
+
+let crash_cmd =
+  let doc = "Crash-injection recovery test (6.8)." in
+  let rounds_arg = Arg.(value & opt int 100 & info [ "rounds" ] ~doc:"Crash rounds.") in
+  Cmd.v (Cmd.info "crash" ~doc) Term.(const run_crash $ rounds_arg)
+
+let () =
+  let doc = "PACTree (SOSP'21) reproduction benchmarks on a simulated NVM machine." in
+  let info = Cmd.info "pactree_bench" ~doc in
+  exit (Cmd.eval (Cmd.group info [ ycsb_cmd; figure_cmd; crash_cmd ]))

@@ -1,0 +1,1 @@
+examples/kvstore.ml: Des List Nvm Pactree Printf

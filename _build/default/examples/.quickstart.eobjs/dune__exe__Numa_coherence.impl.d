@@ -1,0 +1,1 @@
+examples/numa_coherence.ml: Des Int64 List Nvm Printf

@@ -1,0 +1,1 @@
+examples/numa_coherence.mli:

@@ -1,0 +1,1 @@
+examples/ycsb_demo.ml: Experiments Format List Nvm Printf Workload

@@ -1,0 +1,77 @@
+(* A small persistent session store built on PACTree, exercising
+   string keys, concurrent simulated clients, the asynchronous SMO
+   updater, and crash recovery with a flaky (partial-persist) power
+   failure.
+
+     dune exec examples/kvstore.exe *)
+
+module Tree = Pactree.Tree
+module Key = Pactree.Key
+module Machine = Nvm.Machine
+
+(* Sessions are "sess:<user>" -> last-active timestamp. *)
+let session_key user = Key.of_string (Printf.sprintf "sess:%08d" user)
+
+let () =
+  let machine = Machine.create ~numa_count:2 () in
+  let cfg =
+    {
+      Tree.default_config with
+      key_inline = 32 (* string keys *);
+      data_capacity = 1 lsl 24;
+      search_capacity = 1 lsl 22;
+    }
+  in
+  let store = Tree.create machine ~cfg () in
+
+  (* Phase 1: concurrent clients create and touch sessions, with the
+     background updater keeping the search layer in sync. *)
+  let sched = Des.Sched.create () in
+  Des.Sched.spawn sched ~name:"updater" (fun () -> Tree.updater_loop store);
+  let clients = 8 and sessions_per_client = 2_000 in
+  let live = ref clients in
+  for c = 0 to clients - 1 do
+    Des.Sched.spawn sched ~numa:(c mod 2) ~name:(Printf.sprintf "client%d" c)
+      (fun () ->
+        for s = 0 to sessions_per_client - 1 do
+          let user = (s * clients) + c in
+          Tree.insert store (session_key user) (1000 + s)
+        done;
+        decr live;
+        if !live = 0 then Tree.request_shutdown store)
+  done;
+  Des.Sched.run sched;
+  Printf.printf "loaded %d sessions in %.2f simulated ms\n"
+    (clients * sessions_per_client)
+    (Des.Sched.now sched *. 1e3);
+  let stats = Tree.stats store in
+  Printf.printf "data-node splits: %d (all handled off the critical path)\n"
+    stats.Tree.splits;
+
+  (* Range query: all sessions of users 100..104. *)
+  let r = Tree.scan store (session_key 100) 5 in
+  Printf.printf "scan from user 100: ";
+  List.iter (fun (k, v) -> Printf.printf "%s=%d " k v) r;
+  print_newline ();
+
+  (* Phase 2: power failure where every unflushed cache line
+     independently survives with probability 0.5 — the adversarial
+     crash model.  Durable linearizability: every acknowledged insert
+     must still be there. *)
+  let rng = Des.Rng.create ~seed:2024L in
+  Machine.crash machine (Machine.Flaky (0.5, rng));
+  let repaired = Tree.recover store in
+  Printf.printf "crashed (flaky) and recovered; %d SMO log entries repaired\n" repaired;
+
+  let missing = ref 0 in
+  for user = 0 to (clients * sessions_per_client) - 1 do
+    if Tree.lookup store (session_key user) = None then incr missing
+  done;
+  Printf.printf "missing sessions after recovery: %d\n" !missing;
+  ignore (Tree.check_invariants store);
+  print_endline "store invariants hold";
+
+  (* Phase 3: the store remains fully usable. *)
+  Tree.insert store (session_key 999_999) 42;
+  assert (Tree.lookup store (session_key 999_999) = Some 42);
+  print_endline "post-recovery writes OK"

@@ -1,0 +1,1 @@
+lib/baselines/bztree.ml: Des Float Index_intf Krep List Nvm Pactree Pmalloc Pmwcas

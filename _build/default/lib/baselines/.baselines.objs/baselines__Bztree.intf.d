@@ -1,0 +1,1 @@
+lib/baselines/bztree.mli: Index_intf Nvm Pactree

@@ -1,0 +1,1 @@
+lib/baselines/fastfair.ml: Bool Bytes Des Float Index_intf Int64 Lazy List Nvm Pactree Pmalloc String

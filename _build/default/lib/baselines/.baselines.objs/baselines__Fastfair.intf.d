@@ -1,0 +1,1 @@
+lib/baselines/fastfair.mli: Index_intf Nvm Pactree

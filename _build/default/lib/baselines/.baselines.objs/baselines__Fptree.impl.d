@@ -1,0 +1,1 @@
+lib/baselines/fptree.ml: Float Htm Index_intf List Map Nvm Option Pactree Pmalloc String

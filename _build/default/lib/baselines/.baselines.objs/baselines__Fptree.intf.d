@@ -1,0 +1,1 @@
+lib/baselines/fptree.mli: Htm Index_intf Nvm Pactree

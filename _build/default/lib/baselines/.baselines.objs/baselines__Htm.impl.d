@@ -1,0 +1,1 @@
+lib/baselines/htm.ml: Des Float

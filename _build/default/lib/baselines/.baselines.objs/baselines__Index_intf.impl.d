@@ -1,0 +1,1 @@
+lib/baselines/index_intf.ml: Pactree

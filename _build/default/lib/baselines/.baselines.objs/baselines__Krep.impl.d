@@ -1,0 +1,1 @@
+lib/baselines/krep.ml: Bytes Int64 Nvm Pactree Pmalloc String

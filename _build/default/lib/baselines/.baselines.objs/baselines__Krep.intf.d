@@ -1,0 +1,1 @@
+lib/baselines/krep.mli: Pactree Pmalloc

@@ -1,0 +1,1 @@
+lib/baselines/pactree_index.ml: Index_intf Pactree

@@ -1,0 +1,1 @@
+lib/baselines/pdlart.ml: Fun Index_intf List Nvm Option Pactree Pmalloc String

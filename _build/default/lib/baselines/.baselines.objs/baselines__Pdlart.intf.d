@@ -1,0 +1,1 @@
+lib/baselines/pdlart.mli: Index_intf Nvm Pactree Pmalloc

@@ -1,0 +1,1 @@
+lib/baselines/pmwcas.ml: Array Des List Nvm

@@ -1,0 +1,1 @@
+lib/baselines/pmwcas.mli: Nvm

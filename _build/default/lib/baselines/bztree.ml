@@ -1,0 +1,574 @@
+(* BzTree (Arulraj et al., VLDB'18) baseline: a latch-free persistent
+   B+-tree built on PMwCAS.
+
+   Cost characteristics reproduced (§2.2.1, §6.1):
+   - every record operation runs one or more PMwCAS executions, each
+     charging descriptor + per-word persistence (~15 flushes per
+     insert in total);
+   - leaves are unsorted append-only slot arrays: lookups scan
+     linearly (more NVM reads), scans must snapshot + sort;
+   - internal nodes are immutable: splits copy-on-write the parent
+     (heavy allocation — the paper measures ~40% of BzTree's time in
+     the allocator), while existing child pointers are updated in
+     place;
+   - a full leaf is frozen, consolidated (or split) into freshly
+     allocated nodes, and forwarded via a replacement pointer.
+
+   Retired nodes are forwarded, not freed (the real system reclaims
+   them with epochs; reclamation does not affect the measured
+   behaviours, and the allocation cost — the relevant factor — is
+   charged on every CoW). *)
+
+module Pool = Nvm.Pool
+module Machine = Nvm.Machine
+module Heap = Pmalloc.Heap
+module Pptr = Pmalloc.Pptr
+module Key = Pactree.Key
+
+let name = "BzTree"
+
+exception Restart
+
+let cap = 20
+
+let off_status = 0 (* count bits 0-15, frozen bit 16, leaf bit 17 *)
+
+let off_replacement = 8
+
+let off_next = 16
+
+let off_leftmost = 24
+
+let off_recs = 32
+
+let rec_size = 24
+
+let node_size = off_recs + (cap * rec_size)
+
+let frozen_bit = 1 lsl 16
+
+let leaf_bit = 1 lsl 17
+
+let count_of s = s land 0xFFFF
+
+let is_frozen s = s land frozen_bit <> 0
+
+let is_leaf s = s land leaf_bit <> 0
+
+type t = {
+  machine : Machine.t;
+  heap : Heap.t;
+  meta : Pool.t; (* 0: root pointer; 64..: PMwCAS descriptor area *)
+  kr : Krep.t;
+  mutable consolidations : int;
+  (* Structural modifications (freeze/consolidate/split and the parent
+     CoW chain) are serialised; record-level operations stay
+     concurrent.  The real BzTree interleaves SMOs through PMwCAS
+     helping; the serialisation does not change the costs the paper
+     measures (allocation volume, flush counts, indirection). *)
+  smo_mutex : Des.Sync.Mutex.t;
+}
+
+type node = { pool : Pool.t; off : int }
+
+let node_of ptr = { pool = Pmalloc.Registry.resolve ptr; off = Pptr.off ptr }
+
+let status n = Pool.read_int n.pool (n.off + off_status)
+
+let replacement n = Pool.read_int n.pool (n.off + off_replacement)
+
+let next n = Pool.read_int n.pool (n.off + off_next)
+
+let leftmost n = Pool.read_int n.pool (n.off + off_leftmost)
+
+let rec_off n i = n.off + off_recs + (i * rec_size)
+
+let meta_at n i = Pool.read_int n.pool (rec_off n i)
+
+let krep_at n i = Pool.read_int64 n.pool (rec_off n i + 8)
+
+let val_at n i = Pool.read_int n.pool (rec_off n i + 16)
+
+let mw t targets = Pmwcas.execute ~desc_pool:t.meta ~desc_base:64 targets
+
+let create machine ?(string_keys = false) ?(capacity = 1 lsl 26) () =
+  let numa = Machine.numa_count machine in
+  let heap =
+    Heap.create machine ~kind:Heap.Pmdk ~name:"bztree" ~numa_pools:numa ~capacity ()
+  in
+  let meta =
+    Pool.create machine ~name:"bztree.meta" ~numa:0 ~capacity:(64 + Pmwcas.region_size) ()
+  in
+  Pmalloc.Registry.register meta;
+  let t =
+    {
+      machine;
+      heap;
+      meta;
+      kr = Krep.create ~heap ~string_keys;
+      consolidations = 0;
+      smo_mutex = Des.Sync.Mutex.create ();
+    }
+  in
+  let ptr = Heap.alloc heap node_size in
+  let root = node_of ptr in
+  Pool.fill_zero root.pool root.off node_size;
+  Pool.write_int root.pool (root.off + off_status) leaf_bit;
+  Pool.persist root.pool root.off node_size;
+  Pool.write_int meta 0 ptr;
+  Pool.persist meta 0 8;
+  t
+
+let root t = node_of (Pool.read_int t.meta 0)
+
+let with_retry f =
+  let rec go attempt =
+    match f () with
+    | v -> v
+    | exception Restart ->
+        if attempt > 20_000 then failwith "BzTree: livelock";
+        Des.Sched.delay (Float.min (float_of_int attempt *. 50e-9) 2e-6);
+        go (attempt + 1)
+  in
+  go 0
+
+(* Follow consolidation forwarding. *)
+let rec resolve n =
+  let s = status n in
+  if is_frozen s then begin
+    let r = replacement n in
+    if Pptr.is_null r then (n, s) (* freeze in progress *) else resolve (node_of r)
+  end
+  else (n, s)
+
+(* Internal nodes: sorted separators; child for probe = child of last
+   separator <= probe, else leftmost. *)
+let child_for t n s ~probe_rep ~probe_key =
+  let c = count_of s in
+  let rec go lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if Krep.compare_with_key t.kr (krep_at n mid) ~probe_rep ~probe_key < 0 then
+        go (mid + 1) hi
+      else go lo mid
+  in
+  let i = go 0 c in
+  let i =
+    if i < c && Krep.compare_with_key t.kr (krep_at n i) ~probe_rep ~probe_key = 0 then
+      i + 1
+    else i
+  in
+  if i = 0 then leftmost n else val_at n (i - 1)
+
+(* Descend to the leaf covering the probe; returns the leaf and the
+   path of internal nodes (nearest parent first). *)
+let rec descend t n path ~probe_rep ~probe_key =
+  let n, s = resolve n in
+  if is_leaf s then (n, s, path)
+  else
+    let child = child_for t n s ~probe_rep ~probe_key in
+    descend t (node_of child) (n :: path) ~probe_rep ~probe_key
+
+let to_leaf t key =
+  let probe_rep = Krep.probe_rep t.kr key in
+  descend t (root t) [] ~probe_rep ~probe_key:key
+
+(* Linear scan of an unsorted leaf. *)
+let find_visible t leaf s key =
+  let probe_rep = Krep.probe_rep t.kr key in
+  let c = count_of s in
+  let rec go i =
+    if i >= c then None
+    else if
+      meta_at leaf i = 1
+      && Krep.compare_with_key t.kr (krep_at leaf i) ~probe_rep ~probe_key:key = 0
+    then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let lookup t key =
+  with_retry @@ fun () ->
+  let leaf, s, _ = to_leaf t key in
+  match find_visible t leaf s key with
+  | Some i -> Some (val_at leaf i)
+  | None -> None
+
+(* ---------- consolidation and splits ---------- *)
+
+let live_sorted t leaf s =
+  let c = count_of s in
+  let rec collect acc i =
+    if i < 0 then acc
+    else
+      collect (if meta_at leaf i = 1 then (krep_at leaf i, val_at leaf i) :: acc else acc)
+        (i - 1)
+  in
+  List.sort (fun (a, _) (b, _) -> Krep.compare t.kr a b) (collect [] (c - 1))
+
+let build_leaf t pairs ~next_ptr =
+  let ptr = Heap.alloc t.heap node_size in
+  let n = node_of ptr in
+  Pool.fill_zero n.pool n.off node_size;
+  List.iteri
+    (fun i (krep, v) ->
+      Pool.write_int n.pool (rec_off n i) 1;
+      Pool.write_int64 n.pool (rec_off n i + 8) krep;
+      Pool.write_int n.pool (rec_off n i + 16) v)
+    pairs;
+  Pool.write_int n.pool (n.off + off_status) (leaf_bit lor List.length pairs);
+  Pool.write_int n.pool (n.off + off_next) next_ptr;
+  Pool.persist n.pool n.off node_size;
+  ptr
+
+let internal_entries n s =
+  List.init (count_of s) (fun i -> (krep_at n i, val_at n i))
+
+let build_internal t ~leftmost_ptr entries =
+  assert (List.length entries <= cap);
+  let ptr = Heap.alloc t.heap node_size in
+  let n = node_of ptr in
+  Pool.fill_zero n.pool n.off node_size;
+  List.iteri
+    (fun i (krep, child) ->
+      Pool.write_int n.pool (rec_off n i) 1;
+      Pool.write_int64 n.pool (rec_off n i + 8) krep;
+      Pool.write_int n.pool (rec_off n i + 16) child)
+    entries;
+  Pool.write_int n.pool (n.off + off_status) (List.length entries);
+  Pool.write_int n.pool (n.off + off_leftmost) leftmost_ptr;
+  Pool.persist n.pool n.off node_size;
+  ignore t;
+  ptr
+
+(* A forwarding target for a node that split in two: a 2-child
+   internal node covering the old node's whole range, so in-flight
+   descents and chain walkers that land on the frozen node are routed
+   correctly on both sides of the separator. *)
+let bridge t ~left ~sep ~right = build_internal t ~leftmost_ptr:left [ (sep, right) ]
+
+(* Swap [old_ptr -> new_ptr] in the parent's child slot (in-place
+   pointer update, the one mutation internal nodes allow). *)
+let swap_child t parent old_ptr new_ptr =
+  let s = status parent in
+  if is_frozen s then raise Restart;
+  if leftmost parent = old_ptr then begin
+    if
+      not
+        (mw t
+           [
+             { Pmwcas.pool = parent.pool; off = parent.off + off_leftmost;
+               expected = old_ptr; desired = new_ptr };
+           ])
+    then raise Restart
+  end
+  else begin
+    let c = count_of s in
+    let rec find i =
+      if i >= c then raise Restart
+      else if val_at parent i = old_ptr then i
+      else find (i + 1)
+    in
+    let i = find 0 in
+    if
+      not
+        (mw t
+           [
+             { Pmwcas.pool = parent.pool; off = rec_off parent i + 16;
+               expected = old_ptr; desired = new_ptr };
+           ])
+    then raise Restart
+  end
+
+let swap_root t old_ptr new_ptr =
+  if
+    not
+      (mw t [ { Pmwcas.pool = t.meta; off = 0; expected = old_ptr; desired = new_ptr } ])
+  then raise Restart
+
+(* Insert separator [sep]->[right] next to child [old]->[left] in the
+   (immutable) parent: CoW the parent and swap it in above. *)
+let rec add_separator t path old_ptr left_ptr sep right_ptr =
+  match path with
+  | [] ->
+      (* old was the root: new root with two children *)
+      let nr = build_internal t ~leftmost_ptr:left_ptr [ (sep, right_ptr) ] in
+      swap_root t old_ptr nr
+  | parent :: rest ->
+      let s = status parent in
+      if is_frozen s then raise Restart;
+      let entries = internal_entries parent s in
+      let lm = leftmost parent in
+      let subst p = if p = old_ptr then left_ptr else p in
+      let lm = subst lm in
+      let entries = List.map (fun (k, c) -> (k, subst c)) entries in
+      (* splice (sep, right) in sorted position *)
+      let rec splice acc = function
+        | [] -> List.rev ((sep, right_ptr) :: acc)
+        | (k, c) :: tl when Krep.compare t.kr k sep < 0 -> splice ((k, c) :: acc) tl
+        | tl -> List.rev_append acc ((sep, right_ptr) :: tl)
+      in
+      let entries' = splice [] entries in
+      if List.length entries' <= cap then begin
+        let p' = build_internal t ~leftmost_ptr:lm entries' in
+        let pold = Pptr.make ~pool:(Pool.id parent.pool) ~off:parent.off in
+        (* freeze the old parent, forward it, then swap above *)
+        if not
+             (mw t
+                [
+                  { Pmwcas.pool = parent.pool; off = parent.off + off_status;
+                    expected = s; desired = s lor frozen_bit };
+                ])
+        then raise Restart;
+        Pool.write_int parent.pool (parent.off + off_replacement) p';
+        Pool.persist parent.pool (parent.off + off_replacement) 8;
+        (match rest with
+        | [] -> swap_root t pold p'
+        | gp :: _ -> swap_child t gp pold p')
+      end
+      else begin
+        (* parent overflow: split the CoW result in two *)
+        let mid = List.length entries' / 2 in
+        let lefts = List.filteri (fun i _ -> i < mid) entries' in
+        let rights = List.filteri (fun i _ -> i > mid) entries' in
+        let psep, pmid_child = List.nth entries' mid in
+        let pl = build_internal t ~leftmost_ptr:lm lefts in
+        let pr = build_internal t ~leftmost_ptr:pmid_child rights in
+        let pold = Pptr.make ~pool:(Pool.id parent.pool) ~off:parent.off in
+        if not
+             (mw t
+                [
+                  { Pmwcas.pool = parent.pool; off = parent.off + off_status;
+                    expected = s; desired = s lor frozen_bit };
+                ])
+        then raise Restart;
+        (* the forwarding target must cover the whole old range *)
+        let br = bridge t ~left:pl ~sep:psep ~right:pr in
+        Pool.write_int parent.pool (parent.off + off_replacement) br;
+        Pool.persist parent.pool (parent.off + off_replacement) 8;
+        add_separator t rest pold pl psep pr
+      end
+
+(* Freeze + consolidate (and possibly split) a full leaf. *)
+let consolidate t leaf s path =
+  Des.Sync.Mutex.with_lock t.smo_mutex @@ fun () ->
+  (* someone may have consolidated while we waited for the lock *)
+  if status leaf <> s then raise Restart;
+  t.consolidations <- t.consolidations + 1;
+  if
+    not
+      (mw t
+         [
+           { Pmwcas.pool = leaf.pool; off = leaf.off + off_status;
+             expected = s; desired = s lor frozen_bit };
+         ])
+  then raise Restart;
+  let live = live_sorted t leaf s in
+  let old_ptr = Pptr.make ~pool:(Pool.id leaf.pool) ~off:leaf.off in
+  if List.length live <= cap * 7 / 10 then begin
+    let nl = build_leaf t live ~next_ptr:(next leaf) in
+    Pool.write_int leaf.pool (leaf.off + off_replacement) nl;
+    Pool.persist leaf.pool (leaf.off + off_replacement) 8;
+    match path with
+    | [] -> swap_root t old_ptr nl
+    | parent :: _ -> swap_child t parent old_ptr nl
+  end
+  else begin
+    let mid = List.length live / 2 in
+    let lefts = List.filteri (fun i _ -> i < mid) live in
+    let rights = List.filteri (fun i _ -> i >= mid) live in
+    let sep = fst (List.hd rights) in
+    let nr = build_leaf t rights ~next_ptr:(next leaf) in
+    let nl = build_leaf t lefts ~next_ptr:nr in
+    (* the forwarding target must cover the whole old range *)
+    let br = bridge t ~left:nl ~sep ~right:nr in
+    Pool.write_int leaf.pool (leaf.off + off_replacement) br;
+    Pool.persist leaf.pool (leaf.off + off_replacement) 8;
+    add_separator t path old_ptr nl sep nr
+  end
+
+(* ---------- write operations ---------- *)
+
+let insert t key value =
+  with_retry @@ fun () ->
+  let leaf, s, path = to_leaf t key in
+  if is_frozen s then raise Restart;
+  match find_visible t leaf s key with
+  | Some i ->
+      (* upsert: CAS the value word, validated against the status word
+         so it can never land in a frozen node.  Contention on the
+         same (hot) leaf retries in place — only a freeze forces a
+         re-descent. *)
+      let rec cas_value () =
+        let s2 = status leaf in
+        if is_frozen s2 then raise Restart;
+        let old = val_at leaf i in
+        if
+          not
+            (mw t
+               [
+                 { Pmwcas.pool = leaf.pool; off = leaf.off + off_status;
+                   expected = s2; desired = s2 };
+                 { Pmwcas.pool = leaf.pool; off = rec_off leaf i + 16;
+                   expected = old; desired = value };
+               ])
+        then cas_value ()
+      in
+      cas_value ()
+  | None ->
+      if count_of s >= cap then begin
+        consolidate t leaf s path;
+        raise Restart (* retraverse into the replacement *)
+      end
+      else begin
+        let slot = count_of s in
+        (* 1. reserve the slot *)
+        if
+          not
+            (mw t
+               [
+                 { Pmwcas.pool = leaf.pool; off = leaf.off + off_status;
+                   expected = s; desired = s + 1 };
+               ])
+        then raise Restart;
+        (* 2. write the record payload and persist it *)
+        let krep = Krep.of_key t.kr key in
+        Pool.write_int64 leaf.pool (rec_off leaf slot + 8) krep;
+        Pool.write_int leaf.pool (rec_off leaf slot + 16) value;
+        Pool.persist leaf.pool (rec_off leaf slot + 8) 16;
+        (* 3. make it visible — guarded by the status word so a
+           record can never become visible in a frozen node (it would
+           be lost by the concurrent consolidation) *)
+        let rec publish () =
+          let s2 = status leaf in
+          if is_frozen s2 then raise Restart
+          else if
+            not
+              (mw t
+                 [
+                   { Pmwcas.pool = leaf.pool; off = leaf.off + off_status;
+                     expected = s2; desired = s2 };
+                   { Pmwcas.pool = leaf.pool; off = rec_off leaf slot;
+                     expected = 0; desired = 1 };
+                 ])
+          then publish ()
+        in
+        publish ()
+      end
+
+let update t key value =
+  with_retry @@ fun () ->
+  let leaf, s, _ = to_leaf t key in
+  if is_frozen s then raise Restart;
+  match find_visible t leaf s key with
+  | None -> false
+  | Some i ->
+      let rec cas_value () =
+        let s2 = status leaf in
+        if is_frozen s2 then raise Restart;
+        let old = val_at leaf i in
+        if
+          mw t
+            [
+              { Pmwcas.pool = leaf.pool; off = leaf.off + off_status;
+                expected = s2; desired = s2 };
+              { Pmwcas.pool = leaf.pool; off = rec_off leaf i + 16;
+                expected = old; desired = value };
+            ]
+        then true
+        else cas_value ()
+      in
+      cas_value ()
+
+let delete t key =
+  with_retry @@ fun () ->
+  let leaf, s, _ = to_leaf t key in
+  if is_frozen s then raise Restart;
+  match find_visible t leaf s key with
+  | None -> false
+  | Some i ->
+      if
+        mw t
+          [
+            { Pmwcas.pool = leaf.pool; off = leaf.off + off_status;
+              expected = s; desired = s };
+            { Pmwcas.pool = leaf.pool; off = rec_off leaf i; expected = 1; desired = 0 };
+          ]
+      then true
+      else raise Restart
+
+(* Scan: snapshot each unsorted leaf, sort it (the per-node overhead
+   the paper attributes to BzTree scans), follow the sibling chain
+   through replacement forwards. *)
+(* Resolve forwarding, then descend a bridge's leftmost spine down to
+   a leaf. *)
+let rec to_leaf_node t node =
+  let node, s = resolve node in
+  if is_leaf s then (node, s)
+  else to_leaf_node t (node_of (leftmost node))
+
+let scan t key n_wanted =
+  with_retry @@ fun () ->
+  let probe_rep = Krep.probe_rep t.kr key in
+  let acc = ref [] and taken = ref 0 in
+  let rec walk node ~first =
+    let node, s = to_leaf_node t node in
+    let pairs = live_sorted t node s in
+    let pairs =
+      if first then
+        List.filter
+          (fun (kr, _) ->
+            Krep.compare_with_key t.kr kr ~probe_rep ~probe_key:key >= 0)
+          pairs
+      else pairs
+    in
+    List.iter
+      (fun (kr, v) ->
+        if !taken < n_wanted then begin
+          acc := (Krep.to_key t.kr kr, v) :: !acc;
+          incr taken
+        end)
+      pairs;
+    let nxt = next node in
+    if !taken < n_wanted && not (Pptr.is_null nxt) then walk (node_of nxt) ~first:false
+  in
+  let leaf, _, _ = to_leaf t key in
+  walk leaf ~first:true;
+  List.rev !acc
+
+let consolidations t = t.consolidations
+
+let check_invariants t =
+  (* walk the leaf chain from the leftmost leaf; the concatenation of
+     per-leaf sorted live keys must be globally sorted *)
+  let rec to_leftmost n =
+    let n, s = resolve n in
+    if is_leaf s then n else to_leftmost (node_of (leftmost n))
+  in
+  let rec walk n acc =
+    let n, s = to_leaf_node t n in
+    let keys = List.map (fun (kr, _) -> Krep.to_key t.kr kr) (live_sorted t n s) in
+    let acc = acc @ keys in
+    let nxt = next n in
+    if Pptr.is_null nxt then acc else walk (node_of nxt) acc
+  in
+  let all = walk (to_leftmost (root t)) [] in
+  if all <> List.sort Key.compare all then failwith "BzTree: chain not sorted";
+  List.length all
+
+module Index : Index_intf.S with type t = t = struct
+  type nonrec t = t
+
+  let name = name
+
+  let insert = insert
+
+  let lookup = lookup
+
+  let update = update
+
+  let delete = delete
+
+  let scan = scan
+end

@@ -1,0 +1,554 @@
+(* FastFair (Hwang et al., FAST'18) baseline: a lock-based persistent
+   B+-tree with logless crash consistency.
+
+   Faithful cost characteristics (what the paper's comparison depends
+   on, §2.2.1, §6.1):
+   - every node (internal and leaf) lives on NVM;
+   - nodes keep *sorted* records, so inserts and deletes shift records
+     in place, each touched line flushed (logless, ordered 8B stores);
+   - integer keys and values are embedded in the leaf; string keys are
+     stored out-of-node behind a pointer, adding a dereference per
+     comparison (the paper's explanation for FastFair's 3x drop on
+     string keys);
+   - structural modifications are synchronous and hold locks along
+     the split path (SMO in the critical path, GC2);
+   - scans walk the sorted leaf chain: sequential, prefetch-friendly.
+
+   Concurrency: per-node version locks; writers use lock coupling
+   (release the parent once the child cannot split), readers are
+   optimistic with restart.  Deletes do not rebalance (lazy deletion),
+   which is irrelevant to the paper's delete-free YCSB workloads. *)
+
+module Pool = Nvm.Pool
+module Machine = Nvm.Machine
+module Heap = Pmalloc.Heap
+module Pptr = Pmalloc.Pptr
+module Key = Pactree.Key
+module Vlock = Pactree.Vlock
+
+let name = "FastFair"
+
+exception Restart
+
+(* Node layout:
+   0 lock   8 leaf flag (u8)   10 count (u16)   16 sibling next
+   24 leftmost child (internal only)   32 records: (krep 8, val 8) * cap *)
+let cap = 27
+
+let off_lock = 0
+
+let off_leaf = 8
+
+let off_count = 10
+
+let off_next = 16
+
+let off_leftmost = 24
+
+let off_recs = 32
+
+let node_size = off_recs + (cap * 16)
+
+let gen = 1
+
+type t = {
+  machine : Machine.t;
+  heap : Heap.t;
+  meta : Pool.t; (* 0: root pointer *)
+  string_keys : bool;
+}
+
+type node = { pool : Pool.t; off : int }
+
+let node_of ptr = { pool = Pmalloc.Registry.resolve ptr; off = Pptr.off ptr }
+
+let to_ptr n = Pptr.make ~pool:(Pool.id n.pool) ~off:n.off
+
+let lockh n = { Vlock.pool = n.pool; off = n.off + off_lock }
+
+let is_leaf n = Pool.read_u8 n.pool (n.off + off_leaf) = 1
+
+let count n = Pool.read_u16 n.pool (n.off + off_count)
+
+let set_count n c = Pool.write_u16 n.pool (n.off + off_count) c
+
+let next n = Pool.read_int n.pool (n.off + off_next)
+
+let leftmost n = Pool.read_int n.pool (n.off + off_leftmost)
+
+let rec_off n i = n.off + off_recs + (i * 16)
+
+let krep_at n i = Pool.read_int64 n.pool (rec_off n i)
+
+let val_at n i = Pool.read_int n.pool (rec_off n i + 8)
+
+(* Key representation: integer keys embed the 8 big-endian bytes (so
+   unsigned int64 comparison = key order); string keys embed a
+   pointer to an out-of-node record (len byte + bytes). *)
+let krep_of_key t (k : Key.t) =
+  if t.string_keys then begin
+    let ptr = Heap.alloc t.heap (1 + String.length k) in
+    let pool = Pmalloc.Registry.resolve ptr in
+    let off = Pptr.off ptr in
+    Pool.write_u8 pool off (String.length k);
+    Pool.write_string pool (off + 1) k;
+    Pool.persist pool off (1 + String.length k);
+    Int64.of_int ptr
+  end
+  else String.get_int64_be (Key.to_radix k ^ "\000\000\000\000\000\000\000") 0
+
+let key_of_krep t krep =
+  if t.string_keys then begin
+    let ptr = Int64.to_int krep in
+    let pool = Pmalloc.Registry.resolve ptr in
+    let off = Pptr.off ptr in
+    let len = Pool.read_u8 pool off in
+    Pool.read_string pool (off + 1) len
+  end
+  else begin
+    let b = Bytes.create 8 in
+    Bytes.set_int64_be b 0 krep;
+    Bytes.unsafe_to_string b
+  end
+
+(* Compare the stored record key at slot [i] with probe key [k]
+   (already converted for the integer path). *)
+let cmp_slot t n i ~probe_rep ~probe_key =
+  if t.string_keys then begin
+    let ptr = Int64.to_int (krep_at n i) in
+    let pool = Pmalloc.Registry.resolve ptr in
+    let off = Pptr.off ptr in
+    let len = Pool.read_u8 pool off in
+    Pool.compare_string pool (off + 1) len probe_key
+  end
+  else Int64.unsigned_compare (krep_at n i) probe_rep
+
+(* Index of the first slot whose key is >= probe (binary search over
+   the sorted records). *)
+let lower_bound t n ~probe_rep ~probe_key =
+  let c = count n in
+  let rec go lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if cmp_slot t n mid ~probe_rep ~probe_key < 0 then go (mid + 1) hi else go lo mid
+  in
+  go 0 c
+
+let child_for t n ~probe_rep ~probe_key =
+  (* last separator <= probe; its child, or leftmost *)
+  let i = lower_bound t n ~probe_rep ~probe_key in
+  let i =
+    if i < count n && cmp_slot t n i ~probe_rep ~probe_key = 0 then i + 1 else i
+  in
+  if i = 0 then leftmost n else val_at n (i - 1)
+
+let alloc_node t ~leaf =
+  let ptr = Heap.alloc t.heap node_size in
+  let n = node_of ptr in
+  Pool.fill_zero n.pool n.off node_size;
+  Vlock.init (lockh n) ~gen;
+  Pool.write_u8 n.pool (n.off + off_leaf) (Bool.to_int leaf);
+  (n, ptr)
+
+let create machine ?(string_keys = false) ?(capacity = 1 lsl 26) () =
+  let numa = Machine.numa_count machine in
+  let heap =
+    Heap.create machine ~kind:Heap.Pmdk ~name:"fastfair" ~numa_pools:numa ~capacity ()
+  in
+  let meta = Pool.create machine ~name:"fastfair.meta" ~numa:0 ~capacity:256 () in
+  Pmalloc.Registry.register meta;
+  let t = { machine; heap; meta; string_keys } in
+  let root, rptr = alloc_node t ~leaf:true in
+  Pool.persist root.pool root.off node_size;
+  Pool.write_int meta 0 rptr;
+  Pool.persist meta 0 8;
+  t
+
+let root t = node_of (Pool.read_int t.meta 0)
+
+(* ---------- reads ---------- *)
+
+let with_retry f =
+  let rec go attempt =
+    match f () with
+    | v -> v
+    | exception Restart ->
+        if attempt > 10_000 then failwith "FastFair: livelock";
+        Des.Sched.delay (Float.min (float_of_int attempt *. 50e-9) 2e-6);
+        go (attempt + 1)
+  in
+  go 0
+
+let check h v = if not (Vlock.validate h ~gen ~version:v) then raise Restart
+
+(* The root pointer is read without a lock; after pinning the root
+   node (optimistically or exclusively) we must confirm it is still
+   the root, else a concurrent root split could hide keys. *)
+let confirm_root t n = Pool.read_int t.meta 0 = to_ptr n
+
+let lookup t key =
+  let probe_rep = if t.string_keys then 0L else krep_of_key t key in
+  let probe_key = key in
+  with_retry @@ fun () ->
+  let rec descend ~at_root n =
+    let h = lockh n in
+    let v = Vlock.begin_read h ~gen in
+    if at_root && not (confirm_root t n) then raise Restart;
+    if is_leaf n then begin
+      let i = lower_bound t n ~probe_rep ~probe_key in
+      let r =
+        if i < count n && cmp_slot t n i ~probe_rep ~probe_key = 0 then Some (val_at n i)
+        else None
+      in
+      check h v;
+      r
+    end
+    else begin
+      let child = child_for t n ~probe_rep ~probe_key in
+      check h v;
+      descend ~at_root:false (node_of child)
+    end
+  in
+  descend ~at_root:true (root t)
+
+(* ---------- writes ---------- *)
+
+(* Shift records right from slot [i], persist the touched range, and
+   place (krep, v) at [i] — FastFair's sorted in-place insert. *)
+let insert_at t n i krep v =
+  ignore t;
+  let c = count n in
+  for j = c downto i + 1 do
+    Pool.write_int64 n.pool (rec_off n j) (krep_at n (j - 1));
+    Pool.write_int n.pool (rec_off n j + 8) (val_at n (j - 1))
+  done;
+  Pool.write_int64 n.pool (rec_off n i) krep;
+  Pool.write_int n.pool (rec_off n i + 8) v;
+  Pool.flush_range n.pool (rec_off n i) ((c - i + 1) * 16);
+  Pool.fence n.pool;
+  set_count n (c + 1);
+  Pool.persist n.pool (n.off + off_count) 2
+
+let remove_at t n i =
+  ignore t;
+  let c = count n in
+  for j = i to c - 2 do
+    Pool.write_int64 n.pool (rec_off n j) (krep_at n (j + 1));
+    Pool.write_int n.pool (rec_off n j + 8) (val_at n (j + 1))
+  done;
+  if c - 1 > i then begin
+    Pool.flush_range n.pool (rec_off n i) ((c - 1 - i) * 16);
+    Pool.fence n.pool
+  end;
+  set_count n (c - 1);
+  Pool.persist n.pool (n.off + off_count) 2
+
+(* Split a locked, full node; returns (separator krep, new right node
+   pointer).  The new node is persisted before being linked (logless
+   ordering). *)
+let split_node t n =
+  let c = count n in
+  let mid = c / 2 in
+  let right, rptr = alloc_node t ~leaf:(is_leaf n) in
+  let move_from = if is_leaf n then mid else mid + 1 in
+  let sep = krep_at n mid in
+  let moved = c - move_from in
+  for j = 0 to moved - 1 do
+    Pool.write_int64 right.pool (rec_off right j) (krep_at n (move_from + j));
+    Pool.write_int right.pool (rec_off right j + 8) (val_at n (move_from + j))
+  done;
+  set_count right moved;
+  if not (is_leaf n) then
+    Pool.write_int right.pool (right.off + off_leftmost) (val_at n mid);
+  Pool.write_int right.pool (right.off + off_next) (next n);
+  Pool.persist right.pool right.off node_size;
+  Pool.write_int n.pool (n.off + off_next) rptr;
+  Pool.persist n.pool (n.off + off_next) 8;
+  set_count n mid;
+  Pool.persist n.pool (n.off + off_count) 2;
+  (sep, rptr)
+
+(* Write descent with lock coupling (as in the real FastFair): each
+   node is locked on entry; once a node is "safe" (not full, so no
+   split can propagate above it) the whole ancestor chain is released,
+   keeping writers to disjoint subtrees parallel.  Splits happen with
+   the affected ancestors still locked — the synchronous SMO in the
+   critical path that the paper measures (GC2).
+
+   [descend] owns [ancestors_release]; contract on return:
+   - [None]: the node's lock and all ancestors' locks are released.
+   - [Some (sep, right)]: the node split; its own lock is released but
+     the (full) parent chain is still locked so the caller can absorb
+     the separator.  For the root, the root's lock is retained and
+     returned so the caller can install a new root. *)
+let insert t key value =
+  let probe_key = key in
+  let krep = lazy (krep_of_key t key) in
+  let probe_rep = if t.string_keys then 0L else Lazy.force krep in
+  (* compare a probe against a separator krep *)
+  let cmp_sep sep =
+    if t.string_keys then begin
+      let ptr = Int64.to_int sep in
+      let pool = Pmalloc.Registry.resolve ptr in
+      let off = Pptr.off ptr in
+      let len = Pool.read_u8 pool off in
+      Pool.compare_string pool (off + 1) len probe_key
+    end
+    else Int64.unsigned_compare sep probe_rep
+  in
+  (* compare two kreps *)
+  let cmp_krep a b =
+    if t.string_keys then begin
+      let ka = key_of_krep t a in
+      let pb = Int64.to_int b in
+      let pool = Pmalloc.Registry.resolve pb in
+      let off = Pptr.off pb in
+      let len = Pool.read_u8 pool off in
+      -Pool.compare_string pool (off + 1) len ka
+    end
+    else Int64.unsigned_compare a b
+  in
+  let sep_lower_bound n sep =
+    let c = count n in
+    let rec go lo hi =
+      if lo >= hi then lo
+      else
+        let mid = (lo + hi) / 2 in
+        if cmp_krep (krep_at n mid) sep < 0 then go (mid + 1) hi else go lo mid
+    in
+    go 0 c
+  in
+  with_retry @@ fun () ->
+  let rec descend ~at_root ~ancestors_release n =
+    let h = lockh n in
+    let wv = Vlock.acquire h ~gen in
+    let release () = Vlock.release h ~gen ~version:wv in
+    if at_root && not (confirm_root t n) then begin
+      release ();
+      ancestors_release ();
+      raise Restart
+    end;
+    let safe = count n < cap in
+    let anc =
+      if safe then begin
+        ancestors_release ();
+        fun () -> ()
+      end
+      else ancestors_release
+    in
+    if is_leaf n then begin
+      let i = lower_bound t n ~probe_rep ~probe_key in
+      if i < count n && cmp_slot t n i ~probe_rep ~probe_key = 0 then begin
+        (* upsert: 8B atomic value store *)
+        Pool.write_int n.pool (rec_off n i + 8) value;
+        Pool.persist n.pool (rec_off n i + 8) 8;
+        release ();
+        anc ();
+        None
+      end
+      else if safe then begin
+        insert_at t n i (Lazy.force krep) value;
+        release ();
+        None
+      end
+      else begin
+        let sep, rptr = split_node t n in
+        (* place the pending pair in the correct half *)
+        let target = if cmp_sep sep < 0 then node_of rptr else n in
+        let same = target.off = n.off && target.pool == n.pool in
+        let twv = if same then wv else Vlock.acquire (lockh target) ~gen in
+        let i = lower_bound t target ~probe_rep ~probe_key in
+        insert_at t target i (Lazy.force krep) value;
+        if not same then Vlock.release (lockh target) ~gen ~version:twv;
+        if at_root then Some (sep, rptr, release)
+        else begin
+          release ();
+          Some (sep, rptr, anc)
+        end
+      end
+    end
+    else begin
+      let child = child_for t n ~probe_rep ~probe_key in
+      let anc_for_child () =
+        release ();
+        anc ()
+      in
+      match descend ~at_root:false ~ancestors_release:anc_for_child (node_of child) with
+      | None -> None (* self + ancestors released by the child *)
+      | Some (sep, rptr, _child_anc) ->
+          (* we are still locked (the child was full, so we were kept) *)
+          if count n < cap then begin
+            insert_at t n (sep_lower_bound n sep) sep rptr;
+            release ();
+            anc ();
+            None
+          end
+          else begin
+            let nsep, nright = split_node t n in
+            let target = if cmp_krep sep nsep >= 0 then node_of nright else n in
+            let same = target.off = n.off && target.pool == n.pool in
+            let twv = if same then wv else Vlock.acquire (lockh target) ~gen in
+            insert_at t target (sep_lower_bound target sep) sep rptr;
+            if not same then Vlock.release (lockh target) ~gen ~version:twv;
+            if at_root then Some (nsep, nright, release)
+            else begin
+              release ();
+              Some (nsep, nright, anc)
+            end
+          end
+    end
+  in
+  let r = root t in
+  match descend ~at_root:true ~ancestors_release:(fun () -> ()) r with
+  | None -> ()
+  | Some (sep, rptr, release_root) ->
+      (* root split: build a new root.  The old root's lock is still
+         held, so nobody else can replace it concurrently. *)
+      let nr, nrptr = alloc_node t ~leaf:false in
+      Pool.write_int nr.pool (nr.off + off_leftmost) (to_ptr r);
+      Pool.write_int64 nr.pool (rec_off nr 0) sep;
+      Pool.write_int nr.pool (rec_off nr 0 + 8) rptr;
+      set_count nr 1;
+      Pool.persist nr.pool nr.off node_size;
+      Pool.write_int t.meta 0 nrptr;
+      Pool.persist t.meta 0 8;
+      release_root ()
+
+
+let update t key value =
+  let probe_rep = if t.string_keys then 0L else krep_of_key t key in
+  with_retry @@ fun () ->
+  let rec descend ~at_root n =
+    if is_leaf n then begin
+      let h = lockh n in
+      let wv = Vlock.acquire h ~gen in
+      if at_root && not (confirm_root t n) then begin
+        Vlock.release h ~gen ~version:wv;
+        raise Restart
+      end;
+      let i = lower_bound t n ~probe_rep ~probe_key:key in
+      let found = i < count n && cmp_slot t n i ~probe_rep ~probe_key:key = 0 in
+      if found then begin
+        Pool.write_int n.pool (rec_off n i + 8) value;
+        Pool.persist n.pool (rec_off n i + 8) 8
+      end;
+      Vlock.release h ~gen ~version:wv;
+      found
+    end
+    else begin
+      let h = lockh n in
+      let v = Vlock.begin_read h ~gen in
+      if at_root && not (confirm_root t n) then raise Restart;
+      let child = child_for t n ~probe_rep ~probe_key:key in
+      check h v;
+      descend ~at_root:false (node_of child)
+    end
+  in
+  descend ~at_root:true (root t)
+
+let delete t key =
+  let probe_rep = if t.string_keys then 0L else krep_of_key t key in
+  with_retry @@ fun () ->
+  let rec descend ~at_root n =
+    if is_leaf n then begin
+      let h = lockh n in
+      let wv = Vlock.acquire h ~gen in
+      if at_root && not (confirm_root t n) then begin
+        Vlock.release h ~gen ~version:wv;
+        raise Restart
+      end;
+      let i = lower_bound t n ~probe_rep ~probe_key:key in
+      let found = i < count n && cmp_slot t n i ~probe_rep ~probe_key:key = 0 in
+      if found then remove_at t n i;
+      Vlock.release h ~gen ~version:wv;
+      found
+    end
+    else begin
+      let h = lockh n in
+      let v = Vlock.begin_read h ~gen in
+      if at_root && not (confirm_root t n) then raise Restart;
+      let child = child_for t n ~probe_rep ~probe_key:key in
+      check h v;
+      descend ~at_root:false (node_of child)
+    end
+  in
+  descend ~at_root:true (root t)
+
+(* Scan: locate the first leaf, then follow the sorted leaf chain —
+   FastFair's strength (sequential NVM reads, GA5). *)
+let scan t key n_wanted =
+  let probe_rep = if t.string_keys then 0L else krep_of_key t key in
+  with_retry @@ fun () ->
+  let rec find_leaf ~at_root n =
+    let h = lockh n in
+    let v = Vlock.begin_read h ~gen in
+    if at_root && not (confirm_root t n) then raise Restart;
+    if is_leaf n then (n, h, v)
+    else begin
+      let child = child_for t n ~probe_rep ~probe_key:key in
+      check h v;
+      find_leaf ~at_root:false (node_of child)
+    end
+  in
+  let acc = ref [] and taken = ref 0 in
+  let rec walk n h v ~first =
+    let c = count n in
+    let start =
+      if first then lower_bound t n ~probe_rep ~probe_key:key else 0
+    in
+    let batch = ref [] in
+    let i = ref start in
+    while !i < c && !taken + List.length !batch < n_wanted do
+      batch := (key_of_krep t (krep_at n !i), val_at n !i) :: !batch;
+      incr i
+    done;
+    let nxt = next n in
+    check h v;
+    (* [batch] is newest-first; keep [acc] globally newest-first *)
+    acc := !batch @ !acc;
+    taken := !taken + List.length !batch;
+    if !taken < n_wanted && not (Pptr.is_null nxt) then begin
+      let n' = node_of nxt in
+      let h' = lockh n' in
+      let v' = Vlock.begin_read h' ~gen in
+      walk n' h' v' ~first:false
+    end
+  in
+  let leaf, h, v = find_leaf ~at_root:true (root t) in
+  walk leaf h v ~first:true;
+  List.rev !acc
+
+(* ---------- invariant check (tests) ---------- *)
+
+let check_invariants t =
+  let rec leftmost_leaf n = if is_leaf n then n else leftmost_leaf (node_of (leftmost n)) in
+  let rec walk n acc =
+    let c = count n in
+    let keys = List.init c (fun i -> key_of_krep t (krep_at n i)) in
+    let sorted = List.sort Key.compare keys in
+    if keys <> sorted then failwith "FastFair: leaf not sorted";
+    let acc = acc @ keys in
+    let nxt = next n in
+    if Pptr.is_null nxt then acc else walk (node_of nxt) acc
+  in
+  let all = walk (leftmost_leaf (root t)) [] in
+  let sorted = List.sort Key.compare all in
+  if all <> sorted then failwith "FastFair: leaf chain not globally sorted";
+  List.length all
+
+module Index : Index_intf.S with type t = t = struct
+  type nonrec t = t
+
+  let name = name
+
+  let insert = insert
+
+  let lookup = lookup
+
+  let update = update
+
+  let delete = delete
+
+  let scan = scan
+end

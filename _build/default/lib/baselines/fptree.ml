@@ -1,0 +1,301 @@
+(* FPTree (Oukid et al., SIGMOD'16) baseline: a DRAM-NVM hybrid
+   B+-tree.
+
+   Reproduced characteristics (§2.2.1, §6.1):
+   - internal nodes live in DRAM and are rebuilt on every restart
+     (fast traversal, long recovery);
+   - leaves live on NVM: unsorted slots with a validity bitmap and a
+     one-byte fingerprint array (which PACTree borrows);
+   - internal-node accesses run under HTM with a fallback lock, so
+     throughput collapses with large data sets / many threads (GC3,
+     Fig 6); leaves use per-leaf locks;
+   - leaves are not kept sorted and FPTree has no cached permutation
+     array, so every scan re-sorts each visited leaf (its Fig 13 tail
+     latency on workload E);
+   - splits are synchronous: the internal structure is updated while
+     the leaf lock is held (SMO in the critical path, GC2).
+
+   The DRAM internal layer is an OCaml map of separator keys to leaf
+   pointers; each traversal charges DRAM latency per level, and HTM
+   wraps it with a footprint that grows with the index size.  Leaf
+   merging on delete is not implemented (as in the authors' binary,
+   deletes just clear bitmap slots). *)
+
+module Pool = Nvm.Pool
+module Machine = Nvm.Machine
+module Heap = Pmalloc.Heap
+module Pptr = Pmalloc.Pptr
+module Key = Pactree.Key
+module Vlock = Pactree.Vlock
+module Node = Pactree.Data_node
+
+let name = "FPTree"
+
+module Smap = Map.Make (String)
+
+type t = {
+  machine : Machine.t;
+  heap : Heap.t; (* NVM leaves *)
+  meta : Pool.t; (* 0: head leaf; 8: generation; 64: split micro-log *)
+  lay : Node.layout;
+  mutable internals : Pmalloc.Pptr.t Smap.t; (* DRAM: separator -> leaf *)
+  htm : Htm.t;
+  mutable gen : int;
+  mutable cardinal_estimate : int;
+  dram_latency : float;
+}
+
+let off_head = 0
+
+let off_gen = 8
+
+let off_log = 64
+
+let create machine ?(string_keys = false) ?(capacity = 1 lsl 26) () =
+  let numa = Machine.numa_count machine in
+  let heap =
+    Heap.create machine ~kind:Heap.Pmdk ~name:"fptree" ~numa_pools:numa ~capacity ()
+  in
+  let meta = Pool.create machine ~name:"fptree.meta" ~numa:0 ~capacity:256 () in
+  Pmalloc.Registry.register meta;
+  let lay = Node.layout ~key_inline:(if string_keys then 32 else 8) () in
+  let gen = Pool.read_int meta off_gen + 1 in
+  Pool.write_int meta off_gen gen;
+  Pool.persist meta off_gen 8;
+  let t =
+    {
+      machine;
+      heap;
+      meta;
+      lay;
+      internals = Smap.empty;
+      htm = Htm.create ~seed:0x5EEDL ();
+      gen;
+      cardinal_estimate = 0;
+      dram_latency = (Machine.profile machine).Nvm.Config.dram_latency;
+    }
+  in
+  (* head leaf with sentinel separator "" *)
+  let ptr =
+    Heap.alloc_to heap ~numa:0 ~size:lay.Node.node_size ~dest_pool:meta ~dest_off:off_head
+      ()
+  in
+  let head = Node.of_ptr ptr in
+  Node.init lay head ~gen ~anchor:"" ~next:Pptr.null ~prev:Pptr.null;
+  Pool.persist head.Node.pool head.Node.off lay.Node.node_size;
+  t.internals <- Smap.add "" ptr t.internals;
+  t
+
+let htm_stats t = Htm.stats t.htm
+
+(* HTM read-set model: path through the DRAM internals plus cache
+   pressure growing with the index size (GC3). *)
+let footprint t =
+  let levels = 1 + (Smap.cardinal t.internals |> float_of_int |> Float.log2 |> int_of_float |> max 0) in
+  (8 * levels) + (t.cardinal_estimate / 4000)
+
+(* Pure DRAM lookup of the leaf covering [key]. *)
+let find_leaf_dram t key =
+  match Smap.find_last_opt (fun sep -> String.compare sep key <= 0) t.internals with
+  | Some (_, ptr) -> ptr
+  | None -> Pool.read_int t.meta off_head
+
+(* The DRAM traversal cost: a few cache references per level. *)
+let traversal_duration t =
+  let levels = 2 + (Smap.cardinal t.internals |> float_of_int |> Float.log2 |> int_of_float |> max 0) in
+  float_of_int levels *. t.dram_latency /. 3.0
+
+(* Traverse internals transactionally. *)
+let to_leaf t key =
+  Htm.execute t.htm ~footprint_lines:(footprint t) ~duration:(traversal_duration t)
+    (fun () -> find_leaf_dram t key)
+
+let lookup t key =
+  let ptr = to_leaf t key in
+  let leaf = Node.of_ptr ptr in
+  let h = Node.lock_handle leaf in
+  let rec read attempt =
+    if attempt > 10_000 then failwith "FPTree: read livelock";
+    let v = Vlock.begin_read h ~gen:t.gen in
+    let r = Node.find t.lay leaf key in
+    if Vlock.validate h ~gen:t.gen ~version:v then Option.map snd r
+    else read (attempt + 1)
+  in
+  read 0
+
+(* Split a locked, full leaf; returns the leaf now hosting [key].  A
+   split micro-log entry brackets the operation (FPTree's crash
+   consistency for SMOs); the internal update happens while the leaf
+   lock is held. *)
+let split_leaf t leaf key =
+  (* micro-log: leaf being split *)
+  Pool.write_int t.meta off_log (Node.to_ptr leaf);
+  Pool.persist t.meta off_log 8;
+  let sorted = Node.sorted_live t.lay leaf in
+  let total = List.length sorted in
+  let move = List.filteri (fun i _ -> i >= total / 2) sorted in
+  let median = fst (List.hd move) in
+  let ptr =
+    Heap.alloc_to t.heap ~size:t.lay.Node.node_size ~dest_pool:t.meta ~dest_off:(off_log + 8) ()
+  in
+  let nleaf = Node.of_ptr ptr in
+  Node.init t.lay nleaf ~gen:t.gen ~anchor:median ~next:(Node.next leaf) ~prev:Pptr.null;
+  Node.copy_into t.lay ~src:leaf ~dst:nleaf move;
+  Pool.persist nleaf.Node.pool nleaf.Node.off t.lay.Node.node_size;
+  Node.set_next leaf ptr;
+  Pool.persist leaf.Node.pool (leaf.Node.off + Node.off_next) 8;
+  Node.clear_slots leaf (List.map snd move);
+  (* synchronous internal update, inside HTM, leaf lock still held *)
+  Htm.execute t.htm ~footprint_lines:(footprint t) ~duration:(traversal_duration t)
+    (fun () -> t.internals <- Smap.add median ptr t.internals);
+  (* clear micro-log *)
+  Pool.write_int t.meta off_log 0;
+  Pool.persist t.meta off_log 8;
+  if Key.compare key median < 0 then leaf else nleaf
+
+let rec locked_leaf t key attempt =
+  if attempt > 10_000 then failwith "FPTree: writer livelock";
+  let ptr = to_leaf t key in
+  let leaf = Node.of_ptr ptr in
+  let h = Node.lock_handle leaf in
+  let wv = Vlock.acquire h ~gen:t.gen in
+  (* the leaf may have split between traversal and lock *)
+  let nxt = Node.next leaf in
+  let still_covers =
+    Pptr.is_null nxt || Node.compare_anchor (Node.of_ptr nxt) key > 0
+  in
+  if still_covers then (leaf, wv)
+  else begin
+    Vlock.release h ~gen:t.gen ~version:wv;
+    locked_leaf t key (attempt + 1)
+  end
+
+let insert t key value =
+  let leaf, wv = locked_leaf t key 0 in
+  let release l v = Vlock.release (Node.lock_handle l) ~gen:t.gen ~version:v in
+  match Node.find t.lay leaf key with
+  | Some _ ->
+      ignore (Node.update t.lay leaf key value);
+      release leaf wv
+  | None -> (
+      match Node.insert t.lay leaf key value with
+      | Node.Ok ->
+          t.cardinal_estimate <- t.cardinal_estimate + 1;
+          release leaf wv
+      | Node.Full ->
+          let target = split_leaf t leaf key in
+          if Node.equal target leaf then begin
+            (match Node.insert t.lay leaf key value with
+            | Node.Ok -> ()
+            | Node.Full | Node.Absent -> assert false);
+            t.cardinal_estimate <- t.cardinal_estimate + 1;
+            release leaf wv
+          end
+          else begin
+            let h2 = Node.lock_handle target in
+            let wv2 = Vlock.acquire h2 ~gen:t.gen in
+            (match Node.insert t.lay target key value with
+            | Node.Ok -> ()
+            | Node.Full | Node.Absent -> assert false);
+            t.cardinal_estimate <- t.cardinal_estimate + 1;
+            release target wv2;
+            release leaf wv
+          end
+      | Node.Absent -> assert false)
+
+let update t key value =
+  let leaf, wv = locked_leaf t key 0 in
+  let r = Node.update t.lay leaf key value in
+  Vlock.release (Node.lock_handle leaf) ~gen:t.gen ~version:wv;
+  r = Node.Ok
+
+let delete t key =
+  let leaf, wv = locked_leaf t key 0 in
+  let r = Node.delete t.lay leaf key in
+  if r = Node.Ok then t.cardinal_estimate <- t.cardinal_estimate - 1;
+  Vlock.release (Node.lock_handle leaf) ~gen:t.gen ~version:wv;
+  r = Node.Ok
+
+(* Scan: no cached permutation — sort every visited leaf, every time
+   (FPTree's scan overhead). *)
+let scan t key n_wanted =
+  let acc = ref [] and taken = ref 0 in
+  let rec scan_leaf ptr ~first attempt =
+    if attempt > 10_000 then failwith "FPTree: scan livelock"
+    else if !taken < n_wanted && not (Pptr.is_null ptr) then begin
+      let leaf = Node.of_ptr ptr in
+      let h = Node.lock_handle leaf in
+      let v = Vlock.begin_read h ~gen:t.gen in
+      let sorted = Node.sorted_live t.lay leaf in
+      let batch = ref [] and n = ref 0 in
+      List.iter
+        (fun (k, slot) ->
+          if
+            !taken + !n < n_wanted
+            && ((not first) || Key.compare k key >= 0)
+          then begin
+            batch := (k, Node.value_at t.lay leaf slot) :: !batch;
+            incr n
+          end)
+        sorted;
+      let nxt = Node.next leaf in
+      if Vlock.validate h ~gen:t.gen ~version:v then begin
+        acc := !batch @ !acc;
+        taken := !taken + !n;
+        scan_leaf nxt ~first:false 0
+      end
+      else scan_leaf ptr ~first attempt
+    end
+  in
+  scan_leaf (to_leaf t key) ~first:true 0;
+  List.rev !acc
+
+(* Restart: leaves survive; the DRAM internal layer is rebuilt by
+   walking the leaf chain — FPTree's recovery-time cost. *)
+let recover t =
+  Heap.recover t.heap;
+  let gen = Pool.read_int t.meta off_gen + 1 in
+  Pool.write_int t.meta off_gen gen;
+  Pool.persist t.meta off_gen 8;
+  t.gen <- gen;
+  t.internals <- Smap.empty;
+  t.cardinal_estimate <- 0;
+  let rec walk ptr =
+    if not (Pptr.is_null ptr) then begin
+      let leaf = Node.of_ptr ptr in
+      let sep = Node.anchor t.lay leaf in
+      t.internals <- Smap.add sep ptr t.internals;
+      t.cardinal_estimate <- t.cardinal_estimate + Node.live_count leaf;
+      walk (Node.next leaf)
+    end
+  in
+  walk (Pool.read_int t.meta off_head)
+
+let check_invariants t =
+  let rec walk ptr acc =
+    if Pptr.is_null ptr then acc
+    else begin
+      let leaf = Node.of_ptr ptr in
+      let keys = List.map fst (Node.sorted_live t.lay leaf) in
+      walk (Node.next leaf) (acc @ keys)
+    end
+  in
+  let all = walk (Pool.read_int t.meta off_head) [] in
+  if all <> List.sort Key.compare all then failwith "FPTree: chain not sorted";
+  List.length all
+
+module Index : Index_intf.S with type t = t = struct
+  type nonrec t = t
+
+  let name = name
+
+  let insert = insert
+
+  let lookup = lookup
+
+  let update = update
+
+  let delete = delete
+
+  let scan = scan
+end

@@ -1,0 +1,145 @@
+(* Standalone PDL-ART baseline: the paper's persistent
+   durable-linearizable ART used directly as a key-value index (§3,
+   §6.1), i.e. the starting point of the Fig 12 factor analysis.
+
+   Unlike PACTree, key-value pairs are NOT embedded in leaf nodes:
+   every insert allocates an out-of-node record (GA3's allocation
+   cost), every lookup pays an extra dereference, and scans perform
+   random reads per record instead of sequential node reads (GA5,
+   Figs 4/5).  Updates are out-of-place (allocate + swap + deferred
+   free) to stay durably linearizable. *)
+
+module Pool = Nvm.Pool
+module Machine = Nvm.Machine
+module Heap = Pmalloc.Heap
+module Pptr = Pmalloc.Pptr
+module Key = Pactree.Key
+module Art = Pactree.Art
+
+let name = "PDL-ART"
+
+(* Record layout: value (8B) | key length (1B) | key bytes. *)
+type t = {
+  machine : Machine.t;
+  heap : Heap.t;
+  meta : Pool.t;
+  art : Art.t;
+  epoch : Pactree.Epoch.t;
+}
+
+let record_key ptr =
+  let pool = Pmalloc.Registry.resolve ptr in
+  let off = Pptr.off ptr in
+  let len = Pool.read_u8 pool (off + 8) in
+  Pool.read_string pool (off + 9) len
+
+let create machine ?(alloc_kind = Heap.Pmdk) ?(capacity = 1 lsl 26) ?numa_pools () =
+  let numa = Option.value ~default:(Machine.numa_count machine) numa_pools in
+  let heap = Heap.create machine ~kind:alloc_kind ~name:"pdlart" ~numa_pools:numa ~capacity () in
+  let meta =
+    Pool.create machine ~name:"pdlart.meta" ~numa:0 ~capacity:(Art.meta_size + 256) ()
+  in
+  Pmalloc.Registry.register meta;
+  let epoch = Pactree.Epoch.create () in
+  let art = Art.create ~heap ~meta ~epoch ~key_of_leaf:record_key in
+  { machine; heap; meta; art; epoch }
+
+let alloc_record t rkey value =
+  let size = 9 + String.length rkey in
+  let ptr = Heap.alloc t.heap size in
+  let pool = Pmalloc.Registry.resolve ptr in
+  let off = Pptr.off ptr in
+  Pool.write_int pool off value;
+  Pool.write_u8 pool (off + 8) (String.length rkey);
+  Pool.write_string pool (off + 9) rkey;
+  Pool.persist pool off size;
+  ptr
+
+let record_value ptr =
+  let pool = Pmalloc.Registry.resolve ptr in
+  Pool.read_int pool (Pptr.off ptr)
+
+let free_later t ptr = Pactree.Epoch.defer t.epoch (fun () -> Heap.free t.heap ptr)
+
+let set_record_value ptr value =
+  let pool = Pmalloc.Registry.resolve ptr in
+  Pool.write_int pool (Pptr.off ptr) value;
+  Pool.persist pool (Pptr.off ptr) 8
+
+(* Upsert.  An existing key's record is updated in place: the value is
+   a single 8-byte atomic store + persist (durably linearizable on its
+   own).  Only genuinely new keys allocate a record (GA3's
+   per-insert allocation).  The epoch pin keeps a concurrently deleted
+   record alive while we write it. *)
+let insert t key value =
+  let rkey = Key.to_radix key in
+  Pactree.Epoch.enter t.epoch;
+  Fun.protect ~finally:(fun () -> Pactree.Epoch.exit t.epoch) @@ fun () ->
+  match Art.lookup t.art rkey with
+  | Some record -> set_record_value record value
+  | None -> (
+      let record = alloc_record t rkey value in
+      match Art.insert t.art rkey record with
+      | Art.Inserted -> ()
+      | Art.Replaced old ->
+          (* raced with a concurrent insert of the same key *)
+          free_later t old)
+
+let lookup t key =
+  match Art.lookup t.art (Key.to_radix key) with
+  | Some record -> Some (record_value record)
+  | None -> None
+
+let update t key value =
+  let rkey = Key.to_radix key in
+  Pactree.Epoch.enter t.epoch;
+  Fun.protect ~finally:(fun () -> Pactree.Epoch.exit t.epoch) @@ fun () ->
+  match Art.lookup t.art rkey with
+  | None -> false
+  | Some record ->
+      set_record_value record value;
+      true
+
+let delete t key =
+  let rkey = Key.to_radix key in
+  match Art.delete t.art rkey with
+  | Some old ->
+      free_later t old;
+      true
+  | None -> false
+
+(* Scan through trie order: one random record read per result (no
+   sequential locality — the GA5 cost). *)
+let scan t key n_wanted =
+  let acc = ref [] and n = ref 0 in
+  Art.iter_from t.art (Key.to_radix key) (fun record ->
+      acc := (Key.of_radix (record_key record), record_value record) :: !acc;
+      incr n;
+      !n < n_wanted);
+  List.rev !acc
+
+let recover t =
+  Heap.recover t.heap;
+  ignore (Art.recover t.art)
+
+let art t = t.art
+
+module Index : Index_intf.S with type t = t = struct
+  type nonrec t = t
+
+  let name = name
+
+  let insert = insert
+
+  let lookup = lookup
+
+  let update = update
+
+  let delete = delete
+
+  let scan = scan
+end
+
+let heap t = t.heap
+
+let epoch t = t.epoch

@@ -1,0 +1,27 @@
+(** Persistent multi-word compare-and-swap model (Wang et al.,
+    ICDE'18) — the primitive BzTree builds on.
+
+    Charges the real protocol's persistence traffic (descriptor
+    persist, per-word install persist, status finalisation) against a
+    per-thread descriptor area; see the implementation header for the
+    atomicity model. *)
+
+type target = {
+  pool : Nvm.Pool.t;
+  off : int;  (** 8-byte aligned *)
+  expected : int;
+  desired : int;
+}
+
+type stats = { mutable attempts : int; mutable failures : int }
+
+val stats : stats
+
+(** Bytes of descriptor area needed in the caller's pool. *)
+val region_size : int
+
+(** [execute ~desc_pool ~desc_base targets] returns [true] iff every
+    target held its expected value; on success all desired values are
+    stored and persisted.  [targets] must be non-empty; operations
+    whose first target words collide serialise. *)
+val execute : desc_pool:Nvm.Pool.t -> desc_base:int -> target list -> bool

@@ -1,0 +1,1 @@
+lib/des/sched.ml: Effect Event_queue List Printf Sys

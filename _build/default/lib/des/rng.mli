@@ -1,0 +1,24 @@
+(** Deterministic pseudo-random number generator (splitmix64).
+
+    Every stochastic choice in the simulator and workloads draws from
+    an explicit [Rng.t] so that runs are reproducible from a seed. *)
+
+type t
+
+val create : seed:int64 -> t
+
+(** [split t] derives an independent generator, e.g. one per simulated
+    thread, without sharing state with [t]'s future draws. *)
+val split : t -> t
+
+(** Next raw 64-bit value. *)
+val next : t -> int64
+
+(** [int t bound] is uniform in [\[0, bound)].  [bound] must be > 0. *)
+val int : t -> int -> int
+
+(** Uniform float in [\[0, 1)]. *)
+val float : t -> float
+
+(** [bool t] is a fair coin flip. *)
+val bool : t -> bool

@@ -1,0 +1,102 @@
+(** Deterministic discrete-event scheduler.
+
+    Simulated threads are cooperative coroutines implemented with
+    OCaml 5 effect handlers.  A thread runs host code at "infinite
+    speed" until it performs a simulated-time action ([delay],
+    [charge], blocking on a {!Waitq.t}); the scheduler then advances a
+    virtual clock and switches to the next earliest event.
+
+    The NVM model charges every media access, flush and fence through
+    this module, so simulated throughput reflects the modelled
+    hardware rather than the host machine.  Runs are deterministic:
+    the event queue breaks ties by insertion order and all randomness
+    comes from {!Rng}. *)
+
+type t
+
+(** [create ()] makes a fresh scheduler.  [start] (default 0) sets the
+    initial clock — pass the previous phase's end time when running
+    consecutive simulations against the same machine, so that device
+    state (channel bookings) remains temporally consistent. *)
+val create : ?start:float -> unit -> t
+
+(** Current simulated time, in seconds. *)
+val now : t -> float
+
+(** [spawn t ?numa ~name body] registers a new simulated thread that
+    starts when [run] reaches the current clock.  [numa] (default 0)
+    is the NUMA domain the thread is pinned to; the NVM model reads it
+    via [current_numa]. *)
+val spawn : t -> ?numa:int -> name:string -> (unit -> unit) -> unit
+
+(** [run t] executes events until the queue is empty, i.e. all spawned
+    threads have finished or are waiting on a {!Waitq.t} that nobody
+    will ever signal (which is reported as an error). *)
+val run : t -> unit
+
+(** SIGKILL semantics for crash tests: discard every pending event and
+    suspended thread.  The calling thread (if any) runs to
+    completion. *)
+val abort_all : t -> unit
+
+(** {2 Operations available inside a simulated thread}
+
+    These take no scheduler argument: the running scheduler is
+    implicit.  Outside a simulation they degrade gracefully: [delay]
+    and [charge] are no-ops, [current_*] return defaults.  This lets
+    the index and NVM code run unchanged in plain single-threaded
+    programs (e.g. the examples). *)
+
+(** [delay seconds] suspends the calling thread for [seconds] of
+    simulated time (plus any accumulated [charge]). *)
+val delay : float -> unit
+
+(** [charge seconds] adds [seconds] to the calling thread's clock
+    without a context switch; the amount is folded into the next
+    [delay] or block.  Use for cheap, non-blocking costs such as CPU
+    work and cache hits. *)
+val charge : float -> unit
+
+(** Yield the processor: reschedule the calling thread at the current
+    time behind already-pending events. *)
+val yield : unit -> unit
+
+(** Identifier of the calling simulated thread; [-1] outside a
+    simulation. *)
+val current_id : unit -> int
+
+(** NUMA domain of the calling simulated thread; [0] outside a
+    simulation. *)
+val current_numa : unit -> int
+
+(** Name of the calling simulated thread; ["main"] outside. *)
+val current_name : unit -> string
+
+(** [running ()] is [true] when called from inside a simulated
+    thread. *)
+val running : unit -> bool
+
+(** The scheduler driving the calling simulated thread. *)
+val self : unit -> t option
+
+(** Condition-variable-like wait queue for simulated threads. *)
+module Waitq : sig
+  type sched := t
+
+  type t
+
+  val create : unit -> t
+
+  (** Block the calling thread until [signal_all] (or [signal_one]) is
+      called by another simulated thread.  Accumulated [charge] time
+      is applied before blocking. *)
+  val wait : t -> unit
+
+  (** Wake every waiting thread at the current simulated time. *)
+  val signal_all : sched -> t -> unit
+
+  (** Wake at most one waiting thread (FIFO). *)
+  val signal_one : sched -> t -> unit
+
+  val waiters : t -> int
+end

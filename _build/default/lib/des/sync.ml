@@ -1,0 +1,30 @@
+module Mutex = struct
+  type t = { mutable holder : int option; waiters : Sched.Waitq.t }
+
+  let create () = { holder = None; waiters = Sched.Waitq.create () }
+
+  let rec lock t =
+    match t.holder with
+    | None -> t.holder <- Some (Sched.current_id ())
+    | Some _ ->
+        Sched.Waitq.wait t.waiters;
+        lock t
+
+  let unlock t =
+    t.holder <- None;
+    match Sched.self () with
+    | Some sched -> Sched.Waitq.signal_one sched t.waiters
+    | None -> ()
+
+  let with_lock t f =
+    lock t;
+    match f () with
+    | v ->
+        unlock t;
+        v
+    | exception exn ->
+        unlock t;
+        raise exn
+
+  let locked t = t.holder <> None
+end

@@ -1,0 +1,22 @@
+(** Synchronization primitives for simulated threads. *)
+
+(** Blocking mutual exclusion.
+
+    Critical sections in the simulator are only preempted when the
+    holder performs a simulated-time action (an NVM access, [delay]),
+    so a mutex is needed exactly where real code would need one around
+    blocking persistence operations — e.g. inside the PMDK-style
+    allocator. *)
+module Mutex : sig
+  type t
+
+  val create : unit -> t
+
+  val lock : t -> unit
+
+  val unlock : t -> unit
+
+  val with_lock : t -> (unit -> 'a) -> 'a
+
+  val locked : t -> bool
+end

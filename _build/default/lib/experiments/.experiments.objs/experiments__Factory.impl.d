@@ -1,0 +1,1 @@
+lib/experiments/factory.ml: Baselines Pactree Scale Workload

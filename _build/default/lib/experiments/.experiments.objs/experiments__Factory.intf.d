@@ -1,0 +1,1 @@
+lib/experiments/factory.mli: Baselines Nvm Pactree Scale Workload

@@ -1,0 +1,1 @@
+lib/experiments/figures.ml: Array Baselines Des Factory Format Gc Hashtbl Int64 List Nvm Option Pactree Pmalloc Printf Scale Workload

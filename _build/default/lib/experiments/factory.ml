@@ -1,0 +1,76 @@
+(** Construction of the benchmarked systems behind one switch. *)
+
+module Tree = Pactree.Tree
+module Index = Baselines.Index_intf
+
+type sys = Pactree_sys | Pdlart_sys | Fastfair_sys | Bztree_sys | Fptree_sys
+
+let all = [ Pactree_sys; Pdlart_sys; Bztree_sys; Fastfair_sys; Fptree_sys ]
+
+let name = function
+  | Pactree_sys -> "PACTree"
+  | Pdlart_sys -> "PDL-ART"
+  | Fastfair_sys -> "FastFair"
+  | Bztree_sys -> "BzTree"
+  | Fptree_sys -> "FPTree"
+
+let of_string = function
+  | "pactree" -> Some Pactree_sys
+  | "pdlart" | "pdl-art" -> Some Pdlart_sys
+  | "fastfair" -> Some Fastfair_sys
+  | "bztree" -> Some Bztree_sys
+  | "fptree" -> Some Fptree_sys
+  | _ -> None
+
+(* The authors' FPTree binary does not support variable-length keys
+   (paper §6), so string-key sweeps skip it. *)
+let supports_strings = function Fptree_sys -> false | _ -> true
+
+let pactree_service t =
+  {
+    (* the same service is respawned for the load and run phases:
+       clear any stale shutdown request first *)
+    Workload.Runner.body =
+      (fun () ->
+        Tree.reset_shutdown t;
+        Tree.updater_loop t);
+    shutdown = (fun () -> Tree.request_shutdown t);
+  }
+
+(** [make machine sys] builds an index and its background service.
+    [cfg] overrides PACTree's configuration (factor analysis). *)
+let make machine ?(string_keys = false) ~scale ?cfg sys :
+    Index.index * Workload.Runner.service option =
+  let data_capacity = scale.Scale.data_capacity in
+  let search_capacity = scale.Scale.search_capacity in
+  match sys with
+  | Pactree_sys ->
+      let cfg =
+        match cfg with
+        | Some c -> c
+        | None ->
+            {
+              Tree.default_config with
+              key_inline = (if string_keys then 32 else 8);
+              data_capacity;
+              search_capacity;
+            }
+      in
+      let t = Tree.create machine ~cfg () in
+      (Baselines.Pactree_index.wrap t, Some (pactree_service t))
+  | Pdlart_sys ->
+      let t = Baselines.Pdlart.create machine ~capacity:data_capacity () in
+      (Index.Index ((module Baselines.Pdlart.Index), t), None)
+  | Fastfair_sys ->
+      let t = Baselines.Fastfair.create machine ~string_keys ~capacity:data_capacity () in
+      (Index.Index ((module Baselines.Fastfair.Index), t), None)
+  | Bztree_sys ->
+      (* BzTree copy-on-writes nodes without reclaiming (see
+         baselines/bztree.ml): give it headroom *)
+      let t =
+        Baselines.Bztree.create machine ~string_keys ~capacity:(4 * data_capacity) ()
+      in
+      (Index.Index ((module Baselines.Bztree.Index), t), None)
+  | Fptree_sys ->
+      let t = Baselines.Fptree.create machine ~string_keys ~capacity:data_capacity () in
+      (Index.Index ((module Baselines.Fptree.Index), t), None)

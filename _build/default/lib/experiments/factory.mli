@@ -1,0 +1,28 @@
+(** Uniform construction of the five benchmarked systems. *)
+
+type sys = Pactree_sys | Pdlart_sys | Fastfair_sys | Bztree_sys | Fptree_sys
+
+(** All systems, PACTree first. *)
+val all : sys list
+
+val name : sys -> string
+
+val of_string : string -> sys option
+
+(** FPTree's reference binary lacks variable-length keys (paper §6),
+    so string-key sweeps skip it. *)
+val supports_strings : sys -> bool
+
+(** PACTree's background updater as a runner service. *)
+val pactree_service : Pactree.Tree.t -> Workload.Runner.service
+
+(** [make machine ~scale sys] builds an index and its background
+    service (if any).  [cfg] overrides PACTree's configuration for the
+    factor analysis. *)
+val make :
+  Nvm.Machine.t ->
+  ?string_keys:bool ->
+  scale:Scale.t ->
+  ?cfg:Pactree.Tree.config ->
+  sys ->
+  Baselines.Index_intf.index * Workload.Runner.service option

@@ -1,0 +1,1 @@
+lib/nvm/device.mli: Config Stats

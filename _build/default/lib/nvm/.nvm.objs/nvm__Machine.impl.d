@@ -1,0 +1,1 @@
+lib/nvm/machine.ml: Array Config Des Device Hashtbl List Stats

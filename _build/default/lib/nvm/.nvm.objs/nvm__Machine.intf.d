@@ -1,0 +1,1 @@
+lib/nvm/machine.mli: Config Des Device Stats

@@ -1,0 +1,1 @@
+lib/nvm/pool.ml: Bytes Char Config Des Device Int32 Int64 Machine Printf Stats String

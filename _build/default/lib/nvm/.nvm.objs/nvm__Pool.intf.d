@@ -1,0 +1,1 @@
+lib/nvm/pool.mli: Machine

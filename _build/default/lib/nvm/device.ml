@@ -1,0 +1,177 @@
+let xpline_size = 256
+
+type t = {
+  profile : Config.profile;
+  protocol : Config.protocol;
+  numa : int;
+  channels : float array; (* absolute time each channel becomes free *)
+  read_buf : int array; (* direct-mapped XPLine buffer; -1 = empty *)
+  mutable last_fetched : int; (* previous XPLine miss, for the prefetcher *)
+  owners : (int, int) Hashtbl.t; (* xpline -> owning NUMA domain *)
+  stats : Stats.t;
+}
+
+let create profile ~protocol ~numa =
+  {
+    profile;
+    protocol;
+    numa;
+    channels = Array.make profile.Config.channels 0.0;
+    read_buf = Array.make profile.Config.read_buffer_slots (-1);
+    last_fetched = min_int;
+    owners = Hashtbl.create 4096;
+    stats = Stats.create ();
+  }
+
+let numa t = t.numa
+
+let stats t = t.stats
+
+(* Knuth multiplicative hash keeps adjacent XPLines in distinct slots. *)
+let buf_slot t xpline = xpline * 0x9E3779B1 land max_int mod Array.length t.read_buf
+
+let buf_mem t xpline = t.read_buf.(buf_slot t xpline) = xpline
+
+let buf_insert t xpline = t.read_buf.(buf_slot t xpline) <- xpline
+
+(* Occupy the earliest-free channel for [cost] seconds starting no
+   earlier than [now]; returns the completion time. *)
+let channel_service t ~now cost =
+  let best = ref 0 in
+  for i = 1 to Array.length t.channels - 1 do
+    if t.channels.(i) < t.channels.(!best) then best := i
+  done;
+  let start = Float.max now t.channels.(!best) in
+  let finish = start +. cost in
+  t.channels.(!best) <- finish;
+  finish
+
+(* Directory coherence (FH5): accessing an XPLine from a NUMA domain
+   other than its recorded owner updates the directory state, which
+   lives on the 3D-Xpoint media, i.e. it is a media write (itself a
+   partial-line RMW).  Snoop mode keeps no on-media state. *)
+let coherence_update t ~now ~xpline ~from_numa =
+  match t.protocol with
+  | Config.Snoop -> now
+  | Config.Directory ->
+      (* Lines start out owned by their home socket (they were zeroed /
+         initialised locally), so purely local workloads cause no
+         directory traffic. *)
+      let owner = try Hashtbl.find t.owners xpline with Not_found -> t.numa in
+      if owner = from_numa then now
+      else begin
+        Hashtbl.replace t.owners xpline from_numa;
+        let p = t.profile in
+        let s = t.stats in
+        s.Stats.dir_writes <- s.Stats.dir_writes + 1;
+        (* 64B directory entry write -> 256B RMW on the media. *)
+        s.Stats.dir_write_bytes <- s.Stats.dir_write_bytes + xpline_size;
+        s.Stats.rmw_reads <- s.Stats.rmw_reads + 1;
+        s.Stats.rmw_read_bytes <- s.Stats.rmw_read_bytes + xpline_size;
+        let cost =
+          p.Config.write_latency
+          +. (float_of_int xpline_size
+             *. (p.Config.write_byte_cost +. p.Config.read_byte_cost))
+        in
+        channel_service t ~now cost
+      end
+
+let remote_adder t ~from_numa =
+  if from_numa = t.numa then 0.0
+  else begin
+    t.stats.Stats.remote_accesses <- t.stats.Stats.remote_accesses + 1;
+    t.profile.Config.remote_latency
+  end
+
+let read t ~now ~xpline ~from_numa =
+  let p = t.profile in
+  let s = t.stats in
+  let remote = remote_adder t ~from_numa in
+  if buf_mem t xpline then begin
+    s.Stats.buffer_hits <- s.Stats.buffer_hits + 1;
+    (* Keep a detected sequential stream running: when the hit is on
+       the line the prefetcher just brought in, fetch the next one in
+       the background. *)
+    if p.Config.prefetch && xpline = t.last_fetched + 1 then begin
+      if not (buf_mem t (xpline + 1)) then begin
+        s.Stats.prefetches <- s.Stats.prefetches + 1;
+        s.Stats.media_reads <- s.Stats.media_reads + 1;
+        s.Stats.media_read_bytes <- s.Stats.media_read_bytes + xpline_size;
+        let cost =
+          p.Config.read_latency
+          +. (float_of_int xpline_size *. p.Config.read_byte_cost)
+        in
+        let (_ : float) = channel_service t ~now cost in
+        buf_insert t (xpline + 1)
+      end;
+      t.last_fetched <- xpline
+    end;
+    now +. p.Config.buffer_hit_latency +. remote
+  end
+  else begin
+    s.Stats.media_reads <- s.Stats.media_reads + 1;
+    s.Stats.media_read_bytes <- s.Stats.media_read_bytes + xpline_size;
+    let cost =
+      p.Config.read_latency +. (float_of_int xpline_size *. p.Config.read_byte_cost)
+    in
+    let fetch_done = channel_service t ~now cost in
+    buf_insert t xpline;
+    (* Sequential prefetch: a second consecutive miss triggers a
+       background fetch of the next XPLine, consuming channel time but
+       not blocking the requester. *)
+    if p.Config.prefetch && xpline = t.last_fetched + 1 && not (buf_mem t (xpline + 1))
+    then begin
+      s.Stats.prefetches <- s.Stats.prefetches + 1;
+      s.Stats.media_reads <- s.Stats.media_reads + 1;
+      s.Stats.media_read_bytes <- s.Stats.media_read_bytes + xpline_size;
+      let (_ : float) = channel_service t ~now:fetch_done cost in
+      buf_insert t (xpline + 1)
+    end;
+    t.last_fetched <- xpline;
+    let after_coherence = coherence_update t ~now:fetch_done ~xpline ~from_numa in
+    after_coherence +. remote
+  end
+
+(* Returns [(accepted, completed)]: [accepted] is when the write
+   enters the WPQ (the ADR persistent domain — what an sfence waits
+   for), [completed] is when the media transfer finishes (what bounds
+   throughput via channel occupancy). *)
+let write t ~now ~xpline ~bytes ~from_numa =
+  assert (bytes > 0 && bytes <= xpline_size);
+  let p = t.profile in
+  let s = t.stats in
+  let remote = remote_adder t ~from_numa in
+  s.Stats.media_writes <- s.Stats.media_writes + 1;
+  s.Stats.media_write_bytes <- s.Stats.media_write_bytes + xpline_size;
+  let rmw_cost =
+    if bytes < xpline_size then begin
+      (* Partial XPLine update: the controller must first read the
+         line (write amplification, FH1). *)
+      s.Stats.rmw_reads <- s.Stats.rmw_reads + 1;
+      s.Stats.rmw_read_bytes <- s.Stats.rmw_read_bytes + xpline_size;
+      float_of_int xpline_size *. p.Config.read_byte_cost
+    end
+    else 0.0
+  in
+  let cost =
+    p.Config.write_latency
+    +. (float_of_int xpline_size *. p.Config.write_byte_cost)
+    +. rmw_cost
+  in
+  let write_done = channel_service t ~now cost in
+  let after_coherence = coherence_update t ~now:write_done ~xpline ~from_numa in
+  let completed = after_coherence +. remote in
+  (* WPQ acceptance: fast when channels are free; back-pressured to
+     the service start when the device is saturated. *)
+  let accepted = write_done -. cost +. p.Config.write_latency +. remote in
+  (accepted, completed)
+
+let dram_access t ~now ~bytes =
+  let p = t.profile in
+  now +. p.Config.dram_latency +. (float_of_int bytes *. 0.01e-9)
+
+let reset_buffers t =
+  Array.fill t.read_buf 0 (Array.length t.read_buf) (-1);
+  Array.fill t.channels 0 (Array.length t.channels) 0.0;
+  t.last_fetched <- min_int;
+  Hashtbl.reset t.owners

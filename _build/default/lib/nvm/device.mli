@@ -1,0 +1,45 @@
+(** One NVM media device (one NUMA domain's DIMMs behind its iMC).
+
+    Models the parts of Optane DCPMM the paper's findings depend on:
+
+    - finite bandwidth via a fixed set of parallel channels; a request
+      occupies the earliest-free channel for [latency + bytes * cost];
+    - 256-byte XPLine access granularity with read-modify-write
+      amplification for partial writes (FH1/FH2);
+    - an XPLine read buffer plus sequential prefetcher, which makes
+      sequential reads much cheaper than random ones (FH3);
+    - directory coherence state stored on the media: a media access
+      from a different NUMA domain than the current owner generates a
+      directory {e write} under the [Directory] protocol (FH5).
+
+    The device is a pure cost model: it returns completion times as a
+    function of [now] and never touches the scheduler, so callers
+    decide whether to block. *)
+
+type t
+
+val create : Config.profile -> protocol:Config.protocol -> numa:int -> t
+
+val numa : t -> int
+
+val stats : t -> Stats.t
+
+(** [read t ~now ~xpline ~from_numa] models fetching XPLine [xpline]
+    and returns the absolute completion time.  A buffer hit bypasses
+    the channels.  Directory maintenance traffic is added when
+    [from_numa] differs from the line's current owner. *)
+val read : t -> now:float -> xpline:int -> from_numa:int -> float
+
+(** [write t ~now ~xpline ~bytes ~from_numa] models persisting [bytes]
+    (<= 256) of XPLine [xpline].  Partial writes charge an extra 256B
+    RMW read.  Returns [(accepted, completed)]: when the write enters
+    the WPQ (ADR persistent domain — what a fence waits for) and when
+    the media transfer finishes (channel occupancy / bandwidth). *)
+val write : t -> now:float -> xpline:int -> bytes:int -> from_numa:int -> float * float
+
+(** [dram_access t ~now ~bytes] models a volatile (DRAM) memory access
+    on this NUMA domain; no persistence, no directory traffic. *)
+val dram_access : t -> now:float -> bytes:int -> float
+
+(** Drop buffered XPLines and coherence state (used on crash). *)
+val reset_buffers : t -> unit

@@ -1,0 +1,75 @@
+(** The simulated NVM machine: NUMA topology, CPU cache model and the
+    clwb/sfence staging pipeline shared by all pools.
+
+    Persistence model (ADR, paper §2.1): CPU caches are volatile.  A
+    store only reaches the persistent media image after [clwb] stages
+    a snapshot of its cache line {e and} a subsequent [fence] by the
+    same thread completes.  On {!crash}, everything else is lost
+    ([Strict]) or survives line-by-line with some probability
+    ([Flaky]), which models arbitrary cache evictions and in-flight
+    flushes. *)
+
+type t
+
+(** [Strict]: only fenced flushes survive a crash — catches missing
+    [clwb]/[fence].  [Flaky (p, rng)]: additionally every dirty line
+    independently survives with probability [p] — models cache
+    evictions and un-fenced flushes, catching ordering bugs. *)
+type crash_mode = Strict | Flaky of float * Des.Rng.t
+
+val create :
+  ?profile:Config.profile -> ?protocol:Config.protocol -> numa_count:int -> unit -> t
+
+val profile : t -> Config.profile
+
+val protocol : t -> Config.protocol
+
+val numa_count : t -> int
+
+val device : t -> int -> Device.t
+
+(** Machine-level counters (flushes, fences, CPU cache).  Device
+    traffic lives in each device's {!Device.stats}. *)
+val stats : t -> Stats.t
+
+(** Sum of machine-level and all device counters. *)
+val total_stats : t -> Stats.t
+
+(** Current simulated time (0 outside a simulation). *)
+val now : t -> float
+
+(** {2 Used by {!Pool}} *)
+
+val fresh_pool_id : t -> int
+
+(** [cache_access t gline] models a CPU cache access to global line
+    [gline]; returns [true] on a hit.  Misses install the tag. *)
+val cache_access : t -> int -> bool
+
+val cache_invalidate : t -> int -> unit
+
+type staged = {
+  pool_id : int;
+  dev : Device.t;
+  xpline : int;  (** global XPLine id, for write-combining *)
+  apply : unit -> unit;  (** persist the snapshot into the media image *)
+}
+
+(** Queue a flushed-line snapshot on the calling thread's staging
+    list; it persists at that thread's next [fence]. *)
+val stage : t -> staged -> unit
+
+(** Register a callback run by {!crash}. *)
+val on_crash : t -> (crash_mode -> unit) -> unit
+
+(** {2 Program-visible operations} *)
+
+(** Store fence: drains the calling thread's staged flushes through
+    the write-combining cost model and applies them to the media
+    images.  Blocks (simulated) until the media writes complete. *)
+val fence : t -> unit
+
+(** Power-failure / SIGKILL: volatile state (CPU caches, staged
+    flushes, device buffers, DRAM pools) is lost; each pool's cache
+    image is reset to its media image per [crash_mode]. *)
+val crash : t -> crash_mode -> unit

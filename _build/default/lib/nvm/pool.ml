@@ -1,0 +1,271 @@
+let line_size = 64
+
+type t = {
+  id : int;
+  name : string;
+  machine : Machine.t;
+  dev : Device.t;
+  numa : int;
+  volatile : bool;
+  cache : Bytes.t;
+  media : Bytes.t; (* empty for volatile pools *)
+  dirty : Bytes.t; (* bitset, one bit per 64B line *)
+  capacity : int;
+}
+
+let round_up x align = (x + align - 1) / align * align
+
+let create machine ?(volatile = false) ~name ~numa ~capacity () =
+  let capacity = round_up (max capacity 256) 256 in
+  let lines = capacity / line_size in
+  let pool =
+    {
+      id = Machine.fresh_pool_id machine;
+      name;
+      machine;
+      dev = Machine.device machine numa;
+      numa;
+      volatile;
+      cache = Bytes.make capacity '\000';
+      media = (if volatile then Bytes.empty else Bytes.make capacity '\000');
+      dirty = Bytes.make ((lines + 7) / 8) '\000';
+      capacity;
+    }
+  in
+  let on_crash mode =
+    if volatile then Bytes.fill pool.cache 0 capacity '\000'
+    else begin
+      (match mode with
+      | Machine.Strict -> ()
+      | Machine.Flaky (p, rng) ->
+          (* Un-fenced dirty lines may have been evicted to the media
+             by the cache at any point: persist each with prob. p. *)
+          for line = 0 to lines - 1 do
+            let byte = Bytes.get_uint8 pool.dirty (line lsr 3) in
+            if byte land (1 lsl (line land 7)) <> 0 && Des.Rng.float rng < p then
+              Bytes.blit pool.cache (line * line_size) pool.media (line * line_size)
+                line_size
+          done);
+      Bytes.blit pool.media 0 pool.cache 0 capacity
+    end;
+    Bytes.fill pool.dirty 0 (Bytes.length pool.dirty) '\000'
+  in
+  Machine.on_crash machine on_crash;
+  pool
+
+let id t = t.id
+
+let name t = t.name
+
+let numa t = t.numa
+
+let capacity t = t.capacity
+
+let is_volatile t = t.volatile
+
+let machine t = t.machine
+
+(* Global line / XPLine ids: pool id in the high bits keeps pools
+   disjoint while keeping in-pool adjacency (for the prefetcher). *)
+let gline t off = (t.id lsl 40) lor (off lsr 6)
+
+let mark_dirty t off =
+  let line = off lsr 6 in
+  let idx = line lsr 3 in
+  let bit = 1 lsl (line land 7) in
+  let byte = Bytes.get_uint8 t.dirty idx in
+  if byte land bit = 0 then Bytes.set_uint8 t.dirty idx (byte lor bit)
+
+let clear_dirty t line =
+  let idx = line lsr 3 in
+  let bit = 1 lsl (line land 7) in
+  let byte = Bytes.get_uint8 t.dirty idx in
+  if byte land bit <> 0 then Bytes.set_uint8 t.dirty idx (byte land lnot bit)
+
+let line_dirty t line =
+  Bytes.get_uint8 t.dirty (line lsr 3) land (1 lsl (line land 7)) <> 0
+
+(* Charge the cost of touching the line containing [off].  Writes take
+   the same miss path as reads (read-for-ownership). *)
+let touch_line t off =
+  let profile = Machine.profile t.machine in
+  let g = gline t off in
+  if Machine.cache_access t.machine g then
+    Des.Sched.charge profile.Config.cache_hit_cost
+  else if t.volatile then Des.Sched.charge profile.Config.dram_latency
+  else if Des.Sched.running () then begin
+    let start = Machine.now t.machine in
+    let completion =
+      Device.read t.dev ~now:start ~xpline:(g lsr 2)
+        ~from_numa:(Des.Sched.current_numa ())
+    in
+    Des.Sched.delay (completion -. start)
+  end
+  else
+    ignore (Device.read t.dev ~now:0.0 ~xpline:(g lsr 2) ~from_numa:t.numa)
+
+let touch_range t off len =
+  if not (off >= 0 && len >= 0 && off + len <= t.capacity) then
+    invalid_arg
+      (Printf.sprintf "Pool %s: access [%d, %d) outside capacity %d" t.name off
+         (off + len) t.capacity);
+  let first = off lsr 6 and last = (off + len - 1) lsr 6 in
+  for line = first to last do
+    touch_line t (line lsl 6)
+  done
+
+let touch_range_write t off len =
+  touch_range t off len;
+  let first = off lsr 6 and last = (off + len - 1) lsr 6 in
+  for line = first to last do
+    mark_dirty t (line lsl 6)
+  done
+
+let read_u8 t off =
+  touch_range t off 1;
+  Bytes.get_uint8 t.cache off
+
+let write_u8 t off v =
+  touch_range_write t off 1;
+  Bytes.set_uint8 t.cache off v
+
+let read_u16 t off =
+  touch_range t off 2;
+  Bytes.get_uint16_le t.cache off
+
+let write_u16 t off v =
+  touch_range_write t off 2;
+  Bytes.set_uint16_le t.cache off v
+
+let read_u32 t off =
+  touch_range t off 4;
+  Int32.to_int (Bytes.get_int32_le t.cache off) land 0xFFFFFFFF
+
+let write_u32 t off v =
+  touch_range_write t off 4;
+  Bytes.set_int32_le t.cache off (Int32.of_int v)
+
+let read_int64 t off =
+  if off land 7 <> 0 then
+    invalid_arg (Printf.sprintf "Pool %s: unaligned 8B read at %d" t.name off);
+  touch_range t off 8;
+  Bytes.get_int64_le t.cache off
+
+let write_int64 t off v =
+  if off land 7 <> 0 then
+    invalid_arg (Printf.sprintf "Pool %s: unaligned 8B write at %d" t.name off);
+  touch_range_write t off 8;
+  Bytes.set_int64_le t.cache off v
+
+let read_int t off = Int64.to_int (read_int64 t off)
+
+let write_int t off v = write_int64 t off (Int64.of_int v)
+
+let read_string t off len =
+  touch_range t off len;
+  Bytes.sub_string t.cache off len
+
+let write_string t off s =
+  let len = String.length s in
+  if len > 0 then begin
+    touch_range_write t off len;
+    Bytes.blit_string s 0 t.cache off len
+  end
+
+let blit_to_bytes t off buf pos len =
+  touch_range t off len;
+  Bytes.blit t.cache off buf pos len
+
+let fill_zero t off len =
+  if len > 0 then begin
+    touch_range_write t off len;
+    Bytes.fill t.cache off len '\000'
+  end
+
+let compare_string t off len s =
+  touch_range t off len;
+  let slen = String.length s in
+  let rec go i =
+    if i >= len || i >= slen then compare len slen
+    else
+      let c = Char.compare (Bytes.unsafe_get t.cache (off + i)) (String.unsafe_get s i) in
+      if c <> 0 then c else go (i + 1)
+  in
+  go 0
+
+let lines_equal t line =
+  let base = line * line_size in
+  let rec go i =
+    i >= line_size
+    || Bytes.unsafe_get t.cache (base + i) = Bytes.unsafe_get t.media (base + i)
+       && go (i + 1)
+  in
+  go 0
+
+(* eADR: the store itself is durable; the dirty line drains to the
+   media in the background, consuming write bandwidth but never
+   blocking the program. *)
+let eadr_drain t off =
+  let g = gline t off in
+  if Des.Sched.running () then begin
+    let start = Machine.now t.machine in
+    ignore
+      (Device.write t.dev ~now:start ~xpline:(g lsr 2) ~bytes:64
+         ~from_numa:(Des.Sched.current_numa ()))
+  end
+  else ignore (Device.write t.dev ~now:0.0 ~xpline:(g lsr 2) ~bytes:64 ~from_numa:t.numa);
+  let line = off lsr 6 in
+  Bytes.blit t.cache (line * line_size) t.media (line * line_size) line_size;
+  clear_dirty t line
+
+let clwb t off =
+  if (Machine.profile t.machine).Config.eadr then begin
+    if not t.volatile then eadr_drain t off
+  end
+  else if not t.volatile then begin
+    let stats = Machine.stats t.machine in
+    stats.Stats.flushes <- stats.Stats.flushes + 1;
+    let profile = Machine.profile t.machine in
+    Des.Sched.charge profile.Config.clwb_cpu_cost;
+    let line = off lsr 6 in
+    let snapshot = Bytes.sub t.cache (line * line_size) line_size in
+    let apply () =
+      Bytes.blit snapshot 0 t.media (line * line_size) line_size;
+      if lines_equal t line then clear_dirty t line
+    in
+    let g = gline t off in
+    Machine.stage t.machine
+      { Machine.pool_id = t.id; dev = t.dev; xpline = g lsr 2; apply };
+    (* Current-generation clwb invalidates the line (FH4). *)
+    Machine.cache_invalidate t.machine g
+  end
+
+let flush_range t off len =
+  if not t.volatile && len > 0 then begin
+    let first = off lsr 6 and last = (off + len - 1) lsr 6 in
+    for line = first to last do
+      clwb t (line lsl 6)
+    done
+  end
+
+let fence t = Machine.fence t.machine
+
+let persist t off len =
+  flush_range t off len;
+  fence t
+
+let media_read_int t off =
+  assert (not t.volatile);
+  Int64.to_int (Bytes.get_int64_le t.media off)
+
+let line_is_dirty t off = (not t.volatile) && line_dirty t (off lsr 6)
+
+let cas_int t off ~expected v =
+  assert (off land 7 = 0);
+  touch_range_write t off 8;
+  let cur = Int64.to_int (Bytes.get_int64_le t.cache off) in
+  if cur = expected then begin
+    Bytes.set_int64_le t.cache off (Int64.of_int v);
+    true
+  end
+  else false

@@ -1,0 +1,110 @@
+(** A byte-addressable NVM (or DRAM) pool.
+
+    A pool is a contiguous region backed by one NUMA device, exposed
+    through offset-based typed accessors.  Two byte images exist: the
+    {e cache} image (what the program reads and writes) and the
+    {e media} image (what survives a crash); [clwb]+[fence] move
+    64-byte lines from the former to the latter (see {!Machine}).
+
+    Every access is charged through the machine's cost model: CPU
+    cache hits are cheap, misses become XPLine-granularity device
+    traffic with NUMA and coherence effects.  DRAM pools
+    ([volatile:true]) cost DRAM latency, ignore flushes, and lose all
+    content on crash — they model the "internal nodes in DRAM" designs
+    the paper compares against. *)
+
+type t
+
+(** [create machine ~name ~numa ~capacity] allocates a pool (capacity
+    is rounded up to a 256B multiple).  [volatile] defaults to
+    [false]. *)
+val create :
+  Machine.t -> ?volatile:bool -> name:string -> numa:int -> capacity:int -> unit -> t
+
+val id : t -> int
+
+val name : t -> string
+
+val numa : t -> int
+
+val capacity : t -> int
+
+val is_volatile : t -> bool
+
+val machine : t -> Machine.t
+
+(** {2 Typed access (little-endian)}
+
+    [read_int]/[write_int] move OCaml 63-bit ints through an 8-byte
+    slot; 8-byte accesses must be 8-byte aligned so that they are
+    single-line atomic, matching the paper's reliance on 8B atomic
+    stores as linearization points. *)
+
+val read_u8 : t -> int -> int
+
+val write_u8 : t -> int -> int -> unit
+
+val read_u16 : t -> int -> int
+
+val write_u16 : t -> int -> int -> unit
+
+val read_u32 : t -> int -> int
+
+val write_u32 : t -> int -> int -> unit
+
+val read_int : t -> int -> int
+
+val write_int : t -> int -> int -> unit
+
+val read_int64 : t -> int -> int64
+
+val write_int64 : t -> int -> int64 -> unit
+
+(** [read_string p off len] copies [len] bytes out of the pool. *)
+val read_string : t -> int -> int -> string
+
+val write_string : t -> int -> string -> unit
+
+(** [blit_to_bytes p off buf pos len] avoids the allocation of
+    [read_string]. *)
+val blit_to_bytes : t -> int -> bytes -> int -> int -> unit
+
+(** Zero [len] bytes at [off]. *)
+val fill_zero : t -> int -> int -> unit
+
+(** [compare_string p off len s] compares the [len] bytes at [off]
+    with [s] lexicographically (allocation-free). *)
+val compare_string : t -> int -> int -> string -> int
+
+(** {2 Persistence} *)
+
+(** [clwb p off] stages the 64B line containing [off] for persistence
+    at the caller's next [fence].  Models the cache-line invalidation
+    of current-generation clwb (FH4). *)
+val clwb : t -> int -> unit
+
+(** [flush_range p off len] issues [clwb] for each line overlapping
+    [\[off, off+len)]. *)
+val flush_range : t -> int -> int -> unit
+
+(** Store fence (delegates to {!Machine.fence}). *)
+val fence : t -> unit
+
+(** [persist p off len] = [flush_range] + [fence]. *)
+val persist : t -> int -> int -> unit
+
+(** {2 Testing / inspection} *)
+
+(** Read directly from the media image, bypassing cost accounting —
+    for tests that check what would survive a crash. *)
+val media_read_int : t -> int -> int
+
+(** True if the 64B line containing [off] differs between cache and
+    media image. *)
+val line_is_dirty : t -> int -> bool
+
+(** [cas_int p off ~expected v] atomically compares the 8-byte slot at
+    [off] with [expected] and stores [v] on match (8-byte aligned).
+    The access cost is charged before the compare; the
+    compare-and-swap itself is indivisible, like a hardware CAS. *)
+val cas_int : t -> int -> expected:int -> int -> bool

@@ -1,0 +1,43 @@
+(** PMWatch-style traffic counters for the simulated NVM.
+
+    One {!t} per device plus one machine-level instance; [add]
+    aggregates, [diff] supports before/after measurement windows. *)
+
+type t = {
+  mutable media_reads : int;  (** XPLine fetches from media *)
+  mutable media_read_bytes : int;
+  mutable media_writes : int;  (** media write operations *)
+  mutable media_write_bytes : int;
+  mutable rmw_reads : int;  (** read-modify-write amplification reads *)
+  mutable rmw_read_bytes : int;
+  mutable dir_writes : int;  (** directory coherence writes (FH5) *)
+  mutable dir_write_bytes : int;
+  mutable buffer_hits : int;  (** XPBuffer / read-buffer hits *)
+  mutable prefetches : int;
+  mutable cache_hits : int;  (** CPU cache hits *)
+  mutable cache_misses : int;
+  mutable remote_accesses : int;  (** cross-NUMA accesses *)
+  mutable flushes : int;  (** clwb instructions *)
+  mutable fences : int;  (** sfence instructions *)
+}
+
+val create : unit -> t
+
+val reset : t -> unit
+
+(** Independent copy, for before/after windows. *)
+val snapshot : t -> t
+
+(** [diff after before] is the per-field difference. *)
+val diff : t -> t -> t
+
+(** [add acc x] accumulates [x] into [acc]. *)
+val add : t -> t -> unit
+
+(** Total bytes read from media, including RMW amplification. *)
+val total_read_bytes : t -> int
+
+(** Total bytes written to media, including directory writes. *)
+val total_write_bytes : t -> int
+
+val pp : Format.formatter -> t -> unit

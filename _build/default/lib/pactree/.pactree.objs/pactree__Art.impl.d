@@ -1,0 +1,1 @@
+lib/pactree/art.ml: Array Char Des Epoch Float Fun Hashtbl List Nvm Option Pmalloc String Vlock

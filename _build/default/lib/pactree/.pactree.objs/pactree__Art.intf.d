@@ -1,0 +1,1 @@
+lib/pactree/art.mli: Epoch Hashtbl Nvm Pmalloc

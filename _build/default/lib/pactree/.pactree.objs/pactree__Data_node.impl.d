@@ -1,0 +1,1 @@
+lib/pactree/data_node.ml: Bool Char Fingerprint Fun Int64 Key List Nvm Pmalloc String Vlock

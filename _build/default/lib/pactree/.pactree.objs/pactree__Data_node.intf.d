@@ -1,0 +1,1 @@
+lib/pactree/data_node.mli: Key Nvm Pmalloc Vlock

@@ -1,0 +1,1 @@
+lib/pactree/epoch.ml: Des Hashtbl List Printf

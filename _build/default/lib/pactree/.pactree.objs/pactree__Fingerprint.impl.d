@@ -1,0 +1,1 @@
+lib/pactree/fingerprint.ml: Char String

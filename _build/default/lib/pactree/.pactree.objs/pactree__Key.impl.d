@@ -1,0 +1,1 @@
+lib/pactree/key.ml: Bytes Char Format Int64 List Printf String

@@ -1,0 +1,1 @@
+lib/pactree/key.mli: Format

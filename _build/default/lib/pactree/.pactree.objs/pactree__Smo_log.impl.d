@@ -1,0 +1,1 @@
+lib/pactree/smo_log.ml: Array Des Hashtbl Key Nvm Option Pmalloc String

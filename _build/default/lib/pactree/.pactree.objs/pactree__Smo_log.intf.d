@@ -1,0 +1,1 @@
+lib/pactree/smo_log.mli: Key Nvm Pmalloc

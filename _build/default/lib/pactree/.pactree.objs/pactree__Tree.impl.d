@@ -1,0 +1,1 @@
+lib/pactree/tree.ml: Array Art Data_node Des Epoch Fun Key List Nvm Option Pmalloc Printf Queue Smo_log Vlock

@@ -1,0 +1,1 @@
+lib/pactree/tree.mli: Art Data_node Epoch Key Nvm Pmalloc

@@ -1,0 +1,1 @@
+lib/pactree/vlock.ml: Des Nvm Pmalloc Printf Sys

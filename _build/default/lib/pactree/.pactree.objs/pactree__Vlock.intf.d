@@ -1,0 +1,1 @@
+lib/pactree/vlock.mli: Nvm

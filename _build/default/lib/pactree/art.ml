@@ -1,0 +1,1128 @@
+(* PDL-ART: Persistent Durable-Linearizable Adaptive Radix Tree
+   (paper §5.1).
+
+   The trie maps prefix-free radix keys (see {!Key.to_radix}) to
+   persistent payload pointers.  Leaves are tagged pointers stored
+   directly in child slots: bit 0 set means "payload", clear means
+   "inner node"; payload keys are recovered through [key_of_leaf].
+
+   Concurrency is optimistic lock coupling over the paper's optimistic
+   persistent version locks: readers validate node versions and
+   restart on interference; writers lock the node (and its parent for
+   structural changes).
+
+   Crash consistency is log-free (§5.1(2)): new nodes are fully
+   persisted before the single 8-byte pointer store that publishes
+   them, and in-node child insertion persists the entry before the
+   count/index store that makes it visible.  Structural replacements
+   (grow/shrink/prefix splits) are copy-on-write committed by one
+   atomic pointer swap.  A per-thread pending log (§5.1(3)) records
+   allocations and retirements so recovery can free unreachable
+   nodes. *)
+
+module Pool = Nvm.Pool
+module Pptr = Pmalloc.Pptr
+module Heap = Pmalloc.Heap
+
+exception Restart
+
+type node = { pool : Pool.t; off : int }
+
+type stats = {
+  mutable restarts : int;
+  mutable allocs : int; (* inner nodes allocated *)
+  mutable retires : int; (* inner nodes retired (CoW) *)
+}
+
+type t = {
+  heap : Heap.t;
+  meta : Pool.t;
+  mutable gen : int;
+  key_of_leaf : Pptr.t -> string;
+  epoch : Epoch.t;
+  stats : stats;
+}
+
+(* Node header layout. *)
+let off_lock = 0
+
+let off_type = 8
+
+let off_plen = 9
+
+let off_count = 10
+
+let off_prefix = 16
+
+(* 16 stored prefix bytes cover e.g. the paper's "user<digits>" string
+   keys without the reconstruct-via-leaf fallback. *)
+let stored_prefix_max = 16
+
+(* Per-type geometry: type 0 = Node4, 1 = Node16, 2 = Node48,
+   3 = Node256. *)
+let n4_keys = 32 (* Node16 keys share this offset *)
+
+let n48_index = 32
+
+let children_off = [| 40; 48; 288; 32 |]
+
+let capacity = [| 4; 16; 48; 256 |]
+
+let node_size = [| 72; 176; 672; 2080 |]
+
+(* Meta-pool layout: generation, root pointer, root lock, then the
+   per-thread pending log. *)
+let off_meta_gen = 8
+
+let off_meta_root = 16
+
+let off_meta_rootlock = 24
+
+let off_pending = 64
+
+let pending_threads = 256
+
+let pending_slots = 8
+
+let meta_size = off_pending + (pending_threads * pending_slots * 8)
+
+let pending_off i slot = off_pending + (((i land (pending_threads - 1)) * pending_slots) + slot) * 8
+
+(* ---------- node accessors ---------- *)
+
+(* Optimistic traversal may speculatively dereference a pointer read
+   from a slot that a concurrent writer is changing; such reads are
+   discarded by version validation, but they must never fault.  A
+   pointer that cannot possibly be a node triggers a restart. *)
+let node_of ptr =
+  let pool = Pmalloc.Registry.resolve ptr in
+  let off = Pptr.off ptr in
+  if off <= 0 || off + node_size.(0) > Pool.capacity pool || off land 7 <> 0 then
+    raise Restart;
+  { pool; off }
+
+let ntype n =
+  let ty = Pool.read_u8 n.pool (n.off + off_type) in
+  if ty > 3 then raise Restart (* speculative read of a non-node *);
+  ty
+
+let plen n = Pool.read_u8 n.pool (n.off + off_plen)
+
+let count n = Pool.read_u16 n.pool (n.off + off_count)
+
+let set_count n c = Pool.write_u16 n.pool (n.off + off_count) c
+
+let lockh n = { Vlock.pool = n.pool; off = n.off + off_lock }
+
+(* Read a node's version for optimistic use; a retired (obsolete) node
+   must not be used at all — restart and re-descend. *)
+let node_version h ~gen =
+  let v = Vlock.begin_read h ~gen in
+  if Vlock.is_obsolete v then raise Restart;
+  v
+
+
+let stored_prefix_byte n i = Pool.read_u8 n.pool (n.off + off_prefix + i)
+
+let child_slot n ty i = n.off + children_off.(ty) + (8 * i)
+
+let read_child n ty i = Pool.read_int n.pool (child_slot n ty i)
+
+let key4_16 n i = Pool.read_u8 n.pool (n.off + n4_keys + i)
+
+(* All of a Node4/16's key bytes in one cache access (they share a
+   line with the header). *)
+let keys4_16 n c = Pool.read_string n.pool (n.off + n4_keys) c
+
+let idx48 n b = Pool.read_u8 n.pool (n.off + n48_index + b)
+
+let byte_at rkey i = Char.code (String.unsafe_get rkey i)
+
+(* [find_child n b] returns the slot offset (for atomic replacement)
+   and the pointer. *)
+let find_child n b =
+  let ty = ntype n in
+  match ty with
+  | 0 | 1 ->
+      let c = count n in
+      let keys = keys4_16 n c in
+      let rec go i =
+        if i >= c then None
+        else if Char.code (String.unsafe_get keys i) = b then
+          let p = read_child n ty i in
+          if Pptr.is_null p then go (i + 1) else Some (child_slot n ty i, p)
+        else go (i + 1)
+      in
+      go 0
+  | 2 ->
+      let s = idx48 n b in
+      if s = 0 then None
+      else
+        let p = read_child n ty (s - 1) in
+        if Pptr.is_null p then None else Some (child_slot n ty (s - 1), p)
+  | _ ->
+      let p = read_child n ty b in
+      if Pptr.is_null p then None else Some (child_slot n ty b, p)
+
+(* Largest child with byte < [b] (None if none): the ordered-search
+   primitive of lookup_le.  Bounded per-type probing — never a full
+   enumeration. *)
+let find_lt n b =
+  let ty = ntype n in
+  match ty with
+  | 0 | 1 ->
+      let c = count n in
+      let keys = keys4_16 n c in
+      let rec go best_b best i =
+        if i >= c then (match best with None -> None | Some j -> Some (read_child n ty j))
+        else
+          let kb = Char.code (String.unsafe_get keys i) in
+          if kb < b && kb >= best_b then go kb (Some i) (i + 1)
+          else go best_b best (i + 1)
+      in
+      let r = go (-1) None 0 in
+      (match r with Some p when Pptr.is_null p -> None | _ -> r)
+  | 2 ->
+      let rec go byte =
+        if byte < 0 then None
+        else
+          let s = idx48 n byte in
+          if s = 0 then go (byte - 1)
+          else
+            let p = read_child n ty (s - 1) in
+            if Pptr.is_null p then go (byte - 1) else Some p
+      in
+      go (b - 1)
+  | _ ->
+      let rec go byte =
+        if byte < 0 then None
+        else
+          let p = read_child n ty byte in
+          if Pptr.is_null p then go (byte - 1) else Some p
+      in
+      go (b - 1)
+
+(* Child with the largest / smallest byte. *)
+let last_child n = find_lt n 256
+
+let first_child n =
+  let ty = ntype n in
+  match ty with
+  | 0 | 1 ->
+      let c = count n in
+      let keys = keys4_16 n c in
+      let rec go best_b best i =
+        if i >= c then (match best with None -> None | Some j -> Some (read_child n ty j))
+        else
+          let kb = Char.code (String.unsafe_get keys i) in
+          if kb < best_b then go kb (Some i) (i + 1)
+          else go best_b best (i + 1)
+      in
+      let r = go 256 None 0 in
+      (match r with Some p when Pptr.is_null p -> None | _ -> r)
+  | 2 ->
+      let rec go byte =
+        if byte > 255 then None
+        else
+          let s = idx48 n byte in
+          if s = 0 then go (byte + 1)
+          else
+            let p = read_child n ty (s - 1) in
+            if Pptr.is_null p then go (byte + 1) else Some p
+      in
+      go 0
+  | _ ->
+      let rec go byte =
+        if byte > 255 then None
+        else
+          let p = read_child n ty byte in
+          if Pptr.is_null p then go (byte + 1) else Some p
+      in
+      go 0
+
+(* Children as (byte, ptr), sorted by byte. *)
+let child_list n =
+  let ty = ntype n in
+  match ty with
+  | 0 | 1 ->
+      let c = count n in
+      let rec go acc i =
+        if i < 0 then acc
+        else
+          let p = read_child n ty i in
+          go (if Pptr.is_null p then acc else (key4_16 n i, p) :: acc) (i - 1)
+      in
+      List.sort (fun (a, _) (b, _) -> compare a b) (go [] (c - 1))
+  | 2 ->
+      let rec go acc b =
+        if b < 0 then acc
+        else
+          let s = idx48 n b in
+          if s = 0 then go acc (b - 1)
+          else
+            let p = read_child n ty (s - 1) in
+            go (if Pptr.is_null p then acc else (b, p) :: acc) (b - 1)
+      in
+      go [] 255
+  | _ ->
+      let rec go acc b =
+        if b < 0 then acc
+        else
+          let p = read_child n ty b in
+          go (if Pptr.is_null p then acc else (b, p) :: acc) (b - 1)
+      in
+      go [] 255
+
+(* ---------- persistence helpers ---------- *)
+
+let persist_node_image n =
+  Pool.flush_range n.pool n.off node_size.(ntype n);
+  Pool.fence n.pool
+
+let persist n off len =
+  Pool.flush_range n.pool off len;
+  Pool.fence n.pool
+
+(* ---------- pending log (allocation / retirement, §5.1(3)) ---------- *)
+
+let free_pending_slots t =
+  let tid = Des.Sched.current_id () land (pending_threads - 1) in
+  let rec go acc slot =
+    if slot >= pending_slots then acc
+    else
+      go (if Pool.read_int t.meta (pending_off tid slot) = 0 then acc + 1 else acc)
+        (slot + 1)
+  in
+  go 0 0
+
+(* Mutating operations reserve their worst-case pending-log capacity
+   BEFORE acquiring any lock: slots are per-thread, so nobody else can
+   consume them afterwards, and waiting here (unpinned, lock-free)
+   cannot deadlock with the epoch advancement that recycles slots. *)
+let pending_waits = ref 0
+
+let ensure_pending_capacity t n =
+  let rec wait attempt =
+    if free_pending_slots t < n then begin
+      incr pending_waits;
+      Epoch.unpin_while t.epoch (fun () ->
+          Epoch.try_advance t.epoch;
+          if attempt > 50_000 then failwith "Art: pending log exhausted";
+          (* exponential: under saturation the blocking epochs span
+             millisecond-long fences *)
+          Des.Sched.delay (200e-9 *. float_of_int (1 lsl min attempt 10)));
+      wait (attempt + 1)
+    end
+  in
+  wait 0
+
+let find_free_pending t =
+  let tid = Des.Sched.current_id () land (pending_threads - 1) in
+  let rec scan slot =
+    if slot >= pending_slots then
+      (* cannot happen: capacity was reserved before locking *)
+      failwith "Art: pending log underflow (missing reservation)"
+    else if Pool.read_int t.meta (pending_off tid slot) = 0 then pending_off tid slot
+    else scan (slot + 1)
+  in
+  scan 0
+
+(* Allocate an inner node through the pending log: the allocator's
+   malloc-to semantics persist the pointer into the log slot
+   atomically with the allocation, so a crash can never leak it. *)
+let alloc_node t ty =
+  let slot = find_free_pending t in
+  let ptr = Heap.alloc_to t.heap ~size:node_size.(ty) ~dest_pool:t.meta ~dest_off:slot () in
+  t.stats.allocs <- t.stats.allocs + 1;
+  (node_of ptr, ptr, slot)
+
+let clear_pending t slot =
+  Pool.write_int t.meta slot 0;
+  Pool.clwb t.meta slot
+
+(* Record a node about to become unreachable (CoW commit).  Must be
+   persisted before the commit pointer swap. *)
+let log_retire t ptr =
+  let slot = find_free_pending t in
+  Pool.write_int t.meta slot ptr;
+  Pool.persist t.meta slot 8;
+  slot
+
+(* Free a retired node once no reader can hold it (two epochs). *)
+let retire t ptr slot =
+  t.stats.retires <- t.stats.retires + 1;
+  Epoch.defer t.epoch (fun () ->
+      Heap.free t.heap ptr;
+      clear_pending t slot)
+
+(* ---------- node construction (on unpublished nodes) ---------- *)
+
+let init_node t n ty ~prefix_len ~prefix =
+  Pool.fill_zero n.pool n.off node_size.(ty);
+  Vlock.init (lockh n) ~gen:t.gen;
+  Pool.write_u8 n.pool (n.off + off_type) ty;
+  Pool.write_u8 n.pool (n.off + off_plen) prefix_len;
+  let stored = min prefix_len stored_prefix_max in
+  for i = 0 to stored - 1 do
+    Pool.write_u8 n.pool (n.off + off_prefix + i) (byte_at prefix i)
+  done
+
+(* Append a child without any ordering constraints — only valid on a
+   node not yet published. *)
+let raw_add_child n b ptr =
+  let ty = ntype n in
+  let c = count n in
+  (match ty with
+  | 0 | 1 ->
+      Pool.write_u8 n.pool (n.off + n4_keys + c) b;
+      Pool.write_int n.pool (child_slot n ty c) ptr
+  | 2 ->
+      Pool.write_int n.pool (child_slot n ty c) ptr;
+      Pool.write_u8 n.pool (n.off + n48_index + b) (c + 1)
+  | _ -> Pool.write_int n.pool (child_slot n ty b) ptr);
+  set_count n (c + 1)
+
+(* ---------- prefix handling ---------- *)
+
+(* Any leaf payload under [n]; used to reconstruct prefix bytes beyond
+   the 8 stored ones (the classic ART "optimistic prefix" recovery).
+   Each node's children are validated against its version before the
+   descent uses them — a torn read must never be dereferenced. *)
+let rec any_leaf t n =
+  let h = lockh n in
+  let v = node_version h ~gen:t.gen in
+  let first = first_child n in
+  if not (Vlock.validate h ~gen:t.gen ~version:v) then raise Restart;
+  match first with
+  | None -> raise Restart (* transiently empty under concurrent SMO *)
+  | Some p -> if Pptr.is_tagged p then Pptr.untag p else any_leaf t (node_of p)
+
+(* Full prefix bytes of [n], whose subtree starts at key depth
+   [depth]. *)
+let full_prefix t n ~depth =
+  let pl = plen n in
+  if pl <= stored_prefix_max then Pool.read_string n.pool (n.off + off_prefix) pl
+  else begin
+    let leaf_key = t.key_of_leaf (any_leaf t n) in
+    if String.length leaf_key < depth + pl then raise Restart;
+    String.sub leaf_key depth pl
+  end
+
+(* Compare the key segment at [depth] against the full prefix.
+   [`Equal d'] continues at depth [d']; [`Diverge (i, full)] reports
+   the first differing position (the key segment may also simply be
+   shorter); [`Before]/[`After] order the whole subtree against the
+   key (used by ordered searches). *)
+let compare_prefix t n ~depth rkey =
+  let pl = plen n in
+  if pl = 0 then `Equal depth
+  else begin
+    let full = full_prefix t n ~depth in
+    let klen = String.length rkey in
+    let rec go i =
+      if i >= pl then `Equal (depth + pl)
+      else if depth + i >= klen then `Diverge (i, full) (* key exhausted: key < subtree *)
+      else
+        let kb = byte_at rkey (depth + i) and pb = byte_at full i in
+        if kb = pb then go (i + 1) else `Diverge (i, full)
+    in
+    go 0
+  end
+
+let order_of_divergence rkey ~depth full i =
+  if depth + i >= String.length rkey then `Before (* key < subtree *)
+  else if byte_at rkey (depth + i) < byte_at full i then `Before
+  else `After
+
+(* ---------- retry wrapper ---------- *)
+
+let check h ~gen v = if not (Vlock.validate h ~gen ~version:v) then raise Restart
+
+let with_retry t f =
+  let rec go attempt =
+    match f () with
+    | v -> v
+    (* Invalid_argument here can only be a pool bounds fault from a
+       speculative read that version validation would have discarded:
+       treat it like any other optimistic conflict. *)
+    | exception (Restart | Invalid_argument _) ->
+        t.stats.restarts <- t.stats.restarts + 1;
+        if attempt > 10_000 then failwith "Art: livelock (too many restarts)";
+        Des.Sched.delay (Float.min (float_of_int attempt *. 50e-9) 2e-6);
+        go (attempt + 1)
+  in
+  go 0
+
+(* ---------- construction / open ---------- *)
+
+let root_lockh t = { Vlock.pool = t.meta; off = off_meta_rootlock }
+
+let read_root t = Pool.read_int t.meta off_meta_root
+
+let create ~heap ~meta ~epoch ~key_of_leaf =
+  if Pool.capacity meta < meta_size then invalid_arg "Art.create: meta pool too small";
+  let gen = Pool.read_int meta off_meta_gen + 1 in
+  Pool.write_int meta off_meta_gen gen;
+  Pool.persist meta off_meta_gen 8;
+  {
+    heap;
+    meta;
+    gen;
+    key_of_leaf;
+    epoch;
+    stats = { restarts = 0; allocs = 0; retires = 0 };
+  }
+
+let stats t = t.stats
+
+let generation t = t.gen
+
+(* ---------- lookup ---------- *)
+
+let lookup t rkey =
+  Epoch.enter t.epoch;
+  Fun.protect ~finally:(fun () -> Epoch.exit t.epoch) @@ fun () ->
+  with_retry t @@ fun () ->
+  let gen = t.gen in
+  let klen = String.length rkey in
+  let rec descend n depth =
+    let h = lockh n in
+    let v = node_version h ~gen in
+    match compare_prefix t n ~depth rkey with
+    | `Diverge _ ->
+        check h ~gen v;
+        None
+    | `Equal depth' ->
+        if depth' >= klen then begin
+          check h ~gen v;
+          None
+        end
+        else begin
+          let b = byte_at rkey depth' in
+          let child = find_child n b in
+          check h ~gen v;
+          match child with
+          | None -> None
+          | Some (_, p) ->
+              if Pptr.is_tagged p then begin
+                let payload = Pptr.untag p in
+                if String.equal (t.key_of_leaf payload) rkey then Some payload else None
+              end
+              else descend (node_of p) (depth' + 1)
+        end
+  in
+  let rh = root_lockh t in
+  let rv = Vlock.begin_read rh ~gen in
+  let root = read_root t in
+  check rh ~gen rv;
+  if Pptr.is_null root then None
+  else if Pptr.is_tagged root then begin
+    let payload = Pptr.untag root in
+    if String.equal (t.key_of_leaf payload) rkey then Some payload else None
+  end
+  else descend (node_of root) 0
+
+(* ---------- ordered search: greatest leaf <= key (§5.3 routing) ---------- *)
+
+let rec max_leaf t n =
+  let h = lockh n in
+  let v = node_version h ~gen:t.gen in
+  let last = last_child n in
+  check h ~gen:t.gen v;
+  match last with
+  | None -> raise Restart
+  | Some p -> if Pptr.is_tagged p then Pptr.untag p else max_leaf t (node_of p)
+
+let lookup_le t rkey =
+  Epoch.enter t.epoch;
+  Fun.protect ~finally:(fun () -> Epoch.exit t.epoch) @@ fun () ->
+  with_retry t @@ fun () ->
+  let gen = t.gen in
+  let klen = String.length rkey in
+  let leaf_le p =
+    let payload = Pptr.untag p in
+    if String.compare (t.key_of_leaf payload) rkey <= 0 then Some payload else None
+  in
+  let rec descend n depth =
+    let h = lockh n in
+    let v = node_version h ~gen in
+    match compare_prefix t n ~depth rkey with
+    | `Diverge (i, full) -> (
+        check h ~gen v;
+        match order_of_divergence rkey ~depth full i with
+        | `Before -> None (* whole subtree > key *)
+        | `After -> Some (max_leaf t n) (* whole subtree < key *))
+    | `Equal depth' ->
+        if depth' >= klen then begin
+          (* key exhausted inside the trie: all leaves below extend it
+             and are therefore greater *)
+          check h ~gen v;
+          None
+        end
+        else begin
+          let b = byte_at rkey depth' in
+          let eq = find_child n b in
+          let lt = find_lt n b in
+          check h ~gen v;
+          let from_lt () =
+            match lt with
+            | None -> None
+            | Some p ->
+                if Pptr.is_tagged p then Some (Pptr.untag p)
+                else Some (max_leaf t (node_of p))
+          in
+          match eq with
+          | Some (_, p) -> (
+              let r =
+                if Pptr.is_tagged p then leaf_le p else descend (node_of p) (depth' + 1)
+              in
+              match r with Some _ -> r | None -> from_lt ())
+          | None -> from_lt ()
+        end
+  in
+  let rh = root_lockh t in
+  let rv = Vlock.begin_read rh ~gen in
+  let root = read_root t in
+  check rh ~gen rv;
+  if Pptr.is_null root then None
+  else if Pptr.is_tagged root then leaf_le root
+  else descend (node_of root) 0
+
+(* ---------- insert ---------- *)
+
+type insert_outcome = Inserted | Replaced of Pptr.t
+(* [Replaced old] returns the previous payload so the caller can
+   reclaim it exactly once (the swap is atomic under the slot lock). *)
+
+(* The slot holding the pointer to the current node, and the version
+   of the lock guarding that slot. *)
+type slot = { s_lock : Vlock.handle; s_version : int; s_pool : Pool.t; s_off : int }
+
+let write_slot slot ptr =
+  Pool.write_int slot.s_pool slot.s_off ptr;
+  Pool.persist slot.s_pool slot.s_off 8
+
+let common_prefix_len a b start =
+  let la = String.length a and lb = String.length b in
+  let rec go i =
+    if start + i < la && start + i < lb && a.[start + i] = b.[start + i] then go (i + 1)
+    else i
+  in
+  go 0
+
+(* Copy [src] (same type) with its prefix shortened to the bytes after
+   position [cut]: used by prefix splits.  Returns the new node. *)
+let copy_with_prefix t src ~full ~cut =
+  let ty = ntype src in
+  let pl = String.length full in
+  let n, ptr, slot = alloc_node t ty in
+  init_node t n ty ~prefix_len:(pl - cut) ~prefix:(String.sub full cut (pl - cut));
+  List.iter (fun (b, p) -> raw_add_child n b p) (child_list src);
+  persist_node_image n;
+  (n, ptr, slot)
+
+(* In-place child insertion protocols: entry persisted first, then the
+   store that makes it visible (count / index / pointer). *)
+let add_child_inplace n b ptr =
+  let ty = ntype n in
+  let c = count n in
+  match ty with
+  | 0 | 1 ->
+      Pool.write_u8 n.pool (n.off + n4_keys + c) b;
+      Pool.write_int n.pool (child_slot n ty c) ptr;
+      Pool.clwb n.pool (n.off + n4_keys + c);
+      Pool.clwb n.pool (child_slot n ty c);
+      Pool.fence n.pool;
+      set_count n (c + 1);
+      persist n (n.off + off_count) 2
+  | 2 ->
+      (* find a free physical slot by scanning the index *)
+      let used = Array.make capacity.(ty) false in
+      for byte = 0 to 255 do
+        let s = idx48 n byte in
+        if s > 0 then used.(s - 1) <- true
+      done;
+      let rec free_slot i = if used.(i) then free_slot (i + 1) else i in
+      let s = free_slot 0 in
+      Pool.write_int n.pool (child_slot n ty s) ptr;
+      persist n (child_slot n ty s) 8;
+      Pool.write_u8 n.pool (n.off + n48_index + b) (s + 1);
+      Pool.clwb n.pool (n.off + n48_index + b);
+      set_count n (c + 1);
+      Pool.clwb n.pool (n.off + off_count);
+      Pool.fence n.pool
+  | _ ->
+      Pool.write_int n.pool (child_slot n ty b) ptr;
+      persist n (child_slot n ty b) 8;
+      set_count n (c + 1);
+      persist n (n.off + off_count) 2
+
+let insert t rkey payload =
+  Epoch.enter t.epoch;
+  Fun.protect ~finally:(fun () -> Epoch.exit t.epoch) @@ fun () ->
+  ensure_pending_capacity t 4;
+  with_retry t @@ fun () ->
+  let gen = t.gen in
+  let klen = String.length rkey in
+  let tagged_payload = Pptr.tagged payload in
+  (* Split a leaf: make a Node4 holding the old leaf and the new one,
+     commit by swapping the slot pointer (atomic). *)
+  let split_leaf slot old_ptr depth =
+    if not (Vlock.try_upgrade slot.s_lock ~gen ~version:slot.s_version) then raise Restart;
+    let finish_release () = Vlock.release slot.s_lock ~gen ~version:(slot.s_version + 1) in
+    let old_key = t.key_of_leaf (Pptr.untag old_ptr) in
+    if String.equal old_key rkey then begin
+      (* duplicate: replace the payload pointer *)
+      write_slot slot tagged_payload;
+      finish_release ();
+      Replaced (Pptr.untag old_ptr)
+    end
+    else begin
+      let cpl = common_prefix_len old_key rkey depth in
+      assert (depth + cpl < klen && depth + cpl < String.length old_key);
+      let n, nptr, pslot = alloc_node t 0 in
+      init_node t n 0 ~prefix_len:cpl ~prefix:(String.sub rkey depth cpl);
+      raw_add_child n (byte_at old_key (depth + cpl)) old_ptr;
+      raw_add_child n (byte_at rkey (depth + cpl)) tagged_payload;
+      persist_node_image n;
+      write_slot slot nptr;
+      clear_pending t pslot;
+      finish_release ();
+      Inserted
+    end
+  in
+  (* Prefix split: CoW the node with a shortened prefix, hang it and
+     the new leaf under a fresh Node4, commit via the parent slot. *)
+  let prefix_split slot n nv depth i full =
+    if not (Vlock.try_upgrade slot.s_lock ~gen ~version:slot.s_version) then raise Restart;
+    let release_parent () = Vlock.release slot.s_lock ~gen ~version:(slot.s_version + 1) in
+    if not (Vlock.try_upgrade (lockh n) ~gen ~version:nv) then begin
+      release_parent ();
+      raise Restart
+    end;
+    assert (depth + i < klen);
+    let old_ptr = Pool.read_int slot.s_pool slot.s_off in
+    let copy, _cptr, cslot = copy_with_prefix t n ~full ~cut:(i + 1) in
+    let cptr_val = Pptr.make ~pool:(Pool.id copy.pool) ~off:copy.off in
+    let n4, nptr, pslot = alloc_node t 0 in
+    init_node t n4 0 ~prefix_len:i ~prefix:(String.sub full 0 i);
+    raw_add_child n4 (byte_at full i) cptr_val;
+    raw_add_child n4 (byte_at rkey (depth + i)) tagged_payload;
+    persist_node_image n4;
+    let rslot = log_retire t old_ptr in
+    write_slot slot nptr (* commit *);
+    clear_pending t cslot;
+    clear_pending t pslot;
+    retire t old_ptr rslot;
+    Vlock.release_obsolete (lockh n) ~gen ~version:(nv + 1);
+    release_parent ();
+    Inserted
+  in
+  (* Grow a full node to the next type (CoW) and add the new child. *)
+  let grow_and_add slot n nv b =
+    if not (Vlock.try_upgrade slot.s_lock ~gen ~version:slot.s_version) then raise Restart;
+    let release_parent () = Vlock.release slot.s_lock ~gen ~version:(slot.s_version + 1) in
+    if not (Vlock.try_upgrade (lockh n) ~gen ~version:nv) then begin
+      release_parent ();
+      raise Restart
+    end;
+    let old_ptr = Pool.read_int slot.s_pool slot.s_off in
+    let ty = ntype n in
+    assert (ty < 3);
+    let big, bptr, bslot = alloc_node t (ty + 1) in
+    let pl = plen n in
+    let prefix =
+      if pl = 0 then ""
+      else
+        String.init (min pl stored_prefix_max) (fun i -> Char.chr (stored_prefix_byte n i))
+    in
+    init_node t big (ty + 1) ~prefix_len:pl ~prefix;
+    List.iter (fun (kb, p) -> raw_add_child big kb p) (child_list n);
+    raw_add_child big b tagged_payload;
+    persist_node_image big;
+    let rslot = log_retire t old_ptr in
+    write_slot slot bptr;
+    clear_pending t bslot;
+    retire t old_ptr rslot;
+    Vlock.release_obsolete (lockh n) ~gen ~version:(nv + 1);
+    release_parent ();
+    Inserted
+  in
+  let rec descend slot cur depth =
+    if Pptr.is_tagged cur then split_leaf slot cur depth
+    else begin
+      let n = node_of cur in
+      let h = lockh n in
+      let v = node_version h ~gen in
+      match compare_prefix t n ~depth rkey with
+      | `Diverge (i, full) ->
+          check h ~gen v;
+          prefix_split slot n v depth i full
+      | `Equal depth' ->
+          if depth' >= klen then begin
+            check h ~gen v;
+            raise Restart (* impossible for prefix-free keys unless racing *)
+          end
+          else begin
+            let b = byte_at rkey depth' in
+            let child = find_child n b in
+            check h ~gen v;
+            match child with
+            | Some (slot_off, p) ->
+                descend
+                  { s_lock = h; s_version = v; s_pool = n.pool; s_off = slot_off }
+                  p (depth' + 1)
+            | None ->
+                if count n < capacity.(ntype n) then begin
+                  if not (Vlock.try_upgrade h ~gen ~version:v) then raise Restart;
+                  add_child_inplace n b tagged_payload;
+                  Vlock.release h ~gen ~version:(v + 1);
+                  Inserted
+                end
+                else grow_and_add slot n v b
+          end
+    end
+  in
+  let rh = root_lockh t in
+  let rv = Vlock.begin_read rh ~gen in
+  let root = read_root t in
+  check rh ~gen rv;
+  if Pptr.is_null root then begin
+    if not (Vlock.try_upgrade rh ~gen ~version:rv) then raise Restart;
+    Pool.write_int t.meta off_meta_root tagged_payload;
+    Pool.persist t.meta off_meta_root 8;
+    Vlock.release rh ~gen ~version:(rv + 1);
+    Inserted
+  end
+  else
+    descend
+      { s_lock = rh; s_version = rv; s_pool = t.meta; s_off = off_meta_root }
+      root 0
+
+(* ---------- delete ---------- *)
+
+(* Remove the child for byte [b] from locked node [n] (present). *)
+let remove_child_inplace n b =
+  let ty = ntype n in
+  let c = count n in
+  match ty with
+  | 0 | 1 ->
+      let rec find i = if key4_16 n i = b then i else find (i + 1) in
+      let i = find 0 in
+      let last = c - 1 in
+      if i <> last then begin
+        Pool.write_u8 n.pool (n.off + n4_keys + i) (key4_16 n last);
+        Pool.write_int n.pool (child_slot n ty i) (read_child n ty last);
+        Pool.clwb n.pool (n.off + n4_keys + i);
+        Pool.clwb n.pool (child_slot n ty i);
+        Pool.fence n.pool
+      end;
+      set_count n last;
+      persist n (n.off + off_count) 2
+  | 2 ->
+      Pool.write_u8 n.pool (n.off + n48_index + b) 0;
+      Pool.clwb n.pool (n.off + n48_index + b);
+      set_count n (c - 1);
+      Pool.clwb n.pool (n.off + off_count);
+      Pool.fence n.pool
+  | _ ->
+      Pool.write_int n.pool (child_slot n ty b) Pptr.null;
+      Pool.clwb n.pool (child_slot n ty b);
+      set_count n (c - 1);
+      Pool.clwb n.pool (n.off + off_count);
+      Pool.fence n.pool
+
+let shrink_threshold = [| 0; 3; 12; 40 |]
+
+let delete t rkey =
+  Epoch.enter t.epoch;
+  Fun.protect ~finally:(fun () -> Epoch.exit t.epoch) @@ fun () ->
+  ensure_pending_capacity t 4;
+  with_retry t @@ fun () ->
+  let gen = t.gen in
+  let klen = String.length rkey in
+  (* Remove byte [b] from [n] (whose prefix starts at key depth
+     [depth]); if the node underflows, CoW-shrink (or path-compress a
+     Node4 with one survivor) and commit via [slot]. *)
+  let remove_and_shrink slot n nv b ~depth =
+    let ty = ntype n in
+    let c = count n in
+    let needs_structural = (ty = 0 && c <= 2) || (ty > 0 && c - 1 <= shrink_threshold.(ty)) in
+    if not needs_structural then begin
+      if not (Vlock.try_upgrade (lockh n) ~gen ~version:nv) then raise Restart;
+      let payload =
+        match find_child n b with Some (_, p) -> Pptr.untag p | None -> raise Restart
+      in
+      remove_child_inplace n b;
+      Vlock.release (lockh n) ~gen ~version:(nv + 1);
+      Some payload
+    end
+    else begin
+      if not (Vlock.try_upgrade slot.s_lock ~gen ~version:slot.s_version) then raise Restart;
+      let release_parent () = Vlock.release slot.s_lock ~gen ~version:(slot.s_version + 1) in
+      if not (Vlock.try_upgrade (lockh n) ~gen ~version:nv) then begin
+        release_parent ();
+        raise Restart
+      end;
+      (* every structural case below retires [n] *)
+      let release_node () = Vlock.release_obsolete (lockh n) ~gen ~version:(nv + 1) in
+      let old_ptr = Pool.read_int slot.s_pool slot.s_off in
+      let payload =
+        match find_child n b with
+        | Some (_, p) -> Pptr.untag p
+        | None ->
+            release_node ();
+            release_parent ();
+            raise Restart
+      in
+      let survivors = List.filter (fun (kb, _) -> kb <> b) (child_list n) in
+      (match survivors with
+      | [] ->
+          (* Root-only situation: the tree is emptying. *)
+          let rslot = log_retire t old_ptr in
+          write_slot slot Pptr.null;
+          retire t old_ptr rslot
+      | [ (sb, p) ] when ty = 0 ->
+          if Pptr.is_tagged p then begin
+            (* Path compression: the leaf replaces the node. *)
+            let rslot = log_retire t old_ptr in
+            write_slot slot p;
+            retire t old_ptr rslot
+          end
+          else begin
+            (* Merge prefixes: CoW the child with the combined prefix
+               node.prefix + branch byte + child.prefix. *)
+            let child = node_of p in
+            let cv = Vlock.acquire (lockh child) ~gen in
+            let node_prefix = full_prefix t n ~depth in
+            let child_depth = depth + plen n + 1 in
+            let child_prefix = full_prefix t child ~depth:child_depth in
+            let merged = node_prefix ^ String.make 1 (Char.chr sb) ^ child_prefix in
+            let copy, _cp, cslot = copy_with_prefix t child ~full:merged ~cut:0 in
+            let cptr_val = Pptr.make ~pool:(Pool.id copy.pool) ~off:copy.off in
+            let r1 = log_retire t old_ptr in
+            let r2 = log_retire t p in
+            write_slot slot cptr_val;
+            clear_pending t cslot;
+            retire t old_ptr r1;
+            retire t p r2;
+            Vlock.release_obsolete (lockh child) ~gen ~version:cv
+          end
+      | _ ->
+          (* CoW shrink to the next smaller type (or same type for
+             Node4 with >1 survivors — cannot happen given the guard). *)
+          let new_ty = if ty = 0 then 0 else ty - 1 in
+          let small, sptr, sslot = alloc_node t new_ty in
+          let pl = plen n in
+          let prefix =
+            if pl = 0 then ""
+            else
+              String.init (min pl stored_prefix_max) (fun i ->
+                  Char.chr (stored_prefix_byte n i))
+          in
+          init_node t small new_ty ~prefix_len:pl ~prefix;
+          List.iter (fun (kb, p) -> raw_add_child small kb p) survivors;
+          persist_node_image small;
+          let rslot = log_retire t old_ptr in
+          write_slot slot sptr;
+          clear_pending t sslot;
+          retire t old_ptr rslot);
+      release_node ();
+      release_parent ();
+      Some payload
+    end
+  in
+  let rec descend slot cur depth =
+    if Pptr.is_tagged cur then begin
+      (* Leaf directly in the slot (root or under a node). *)
+      if String.equal (t.key_of_leaf (Pptr.untag cur)) rkey then begin
+        (* only reachable for the root leaf: inner leaves are handled
+           by [remove_and_shrink] at their parent *)
+        if not (Vlock.try_upgrade slot.s_lock ~gen ~version:slot.s_version) then
+          raise Restart;
+        write_slot slot Pptr.null;
+        Vlock.release slot.s_lock ~gen ~version:(slot.s_version + 1);
+        Some (Pptr.untag cur)
+      end
+      else None
+    end
+    else begin
+      let n = node_of cur in
+      let h = lockh n in
+      let v = node_version h ~gen in
+      match compare_prefix t n ~depth rkey with
+      | `Diverge _ ->
+          check h ~gen v;
+          None
+      | `Equal depth' ->
+          if depth' >= klen then begin
+            check h ~gen v;
+            None
+          end
+          else begin
+            let b = byte_at rkey depth' in
+            let child = find_child n b in
+            check h ~gen v;
+            match child with
+            | None -> None
+            | Some (slot_off, p) ->
+                if Pptr.is_tagged p then begin
+                  if String.equal (t.key_of_leaf (Pptr.untag p)) rkey then
+                    remove_and_shrink slot n v b ~depth
+                  else None
+                end
+                else
+                  descend
+                    { s_lock = h; s_version = v; s_pool = n.pool; s_off = slot_off }
+                    p (depth' + 1)
+          end
+    end
+  in
+  let rh = root_lockh t in
+  let rv = Vlock.begin_read rh ~gen in
+  let root = read_root t in
+  check rh ~gen rv;
+  if Pptr.is_null root then None
+  else
+    descend { s_lock = rh; s_version = rv; s_pool = t.meta; s_off = off_meta_root } root 0
+
+(* ---------- ordered iteration (baseline scans) ---------- *)
+
+exception Stop
+
+(* Read a node's children consistently (small local retry loop). *)
+let consistent_children t n =
+  let h = lockh n in
+  let rec go attempt =
+    let v = Vlock.begin_read h ~gen:t.gen in
+    if Vlock.is_obsolete v then raise Restart;
+    let cs = child_list n in
+    let pl = plen n in
+    if Vlock.validate h ~gen:t.gen ~version:v then (cs, pl)
+    else begin
+      if attempt > 1000 then raise Restart;
+      Des.Sched.delay 100e-9;
+      go (attempt + 1)
+    end
+  in
+  go 0
+
+let iter_from t rkey f =
+  Epoch.enter t.epoch;
+  Fun.protect ~finally:(fun () -> Epoch.exit t.epoch) @@ fun () ->
+  let klen = String.length rkey in
+  let emit p = if not (f p) then raise Stop in
+  let rec walk_all cur =
+    if Pptr.is_tagged cur then emit (Pptr.untag cur)
+    else
+      let cs, _ = consistent_children t (node_of cur) in
+      List.iter (fun (_, p) -> walk_all p) cs
+  in
+  let rec walk_from cur depth =
+    if Pptr.is_tagged cur then begin
+      let payload = Pptr.untag cur in
+      if String.compare (t.key_of_leaf payload) rkey >= 0 then emit payload
+    end
+    else begin
+      let n = node_of cur in
+      let cs, _pl = consistent_children t n in
+      match compare_prefix t n ~depth rkey with
+      | `Diverge (i, full) -> (
+          match order_of_divergence rkey ~depth full i with
+          | `Before -> List.iter (fun (_, p) -> walk_all p) cs (* subtree > key *)
+          | `After -> () (* subtree < key *))
+      | `Equal depth' ->
+          if depth' >= klen then List.iter (fun (_, p) -> walk_all p) cs
+          else begin
+            let b = byte_at rkey depth' in
+            List.iter
+              (fun (kb, p) ->
+                if kb = b then walk_from p (depth' + 1)
+                else if kb > b then walk_all p)
+              cs
+          end
+    end
+  in
+  let root = read_root t in
+  if not (Pptr.is_null root) then begin
+    try with_retry t (fun () -> walk_from root 0) with Stop -> ()
+  end
+
+(* ---------- recovery (§5.1, §5.9) ---------- *)
+
+(* Depth-first reachability of [target] (an untagged pointer that may
+   be an inner node or a leaf payload). *)
+let reachable t target =
+  let rec visit cur =
+    let p = Pptr.untag cur in
+    p = target
+    ||
+    if Pptr.is_tagged cur then false
+    else List.exists (fun (_, c) -> visit c) (child_list (node_of cur))
+  in
+  let root = read_root t in
+  (not (Pptr.is_null root)) && visit root
+
+let recover t =
+  (* Bump the generation: every pre-crash lock becomes void (§5.7). *)
+  let gen = Pool.read_int t.meta off_meta_gen + 1 in
+  Pool.write_int t.meta off_meta_gen gen;
+  Pool.persist t.meta off_meta_gen 8;
+  t.gen <- gen;
+  (* Scan the pending log: free whatever never got linked (allocation
+     interrupted) or already got unlinked (retirement committed). *)
+  let freed = ref 0 in
+  for tid = 0 to pending_threads - 1 do
+    for slot = 0 to pending_slots - 1 do
+      let off = pending_off tid slot in
+      let ptr = Pool.read_int t.meta off in
+      if ptr <> 0 then begin
+        if not (reachable t (Pptr.untag ptr)) then begin
+          Heap.free t.heap (Pptr.untag ptr);
+          incr freed
+        end;
+        Pool.write_int t.meta off 0;
+        Pool.clwb t.meta off
+      end
+    done
+  done;
+  Pool.fence t.meta;
+  !freed
+
+(* Drop the whole trie without freeing: used when the backing pool was
+   volatile (DRAM search layer) and has been wiped by a crash. *)
+let reset t =
+  Pool.write_int t.meta off_meta_root Pptr.null;
+  Pool.persist t.meta off_meta_root 8;
+  for tid = 0 to pending_threads - 1 do
+    for slot = 0 to pending_slots - 1 do
+      let off = pending_off tid slot in
+      if Pool.read_int t.meta off <> 0 then begin
+        Pool.write_int t.meta off 0;
+        Pool.clwb t.meta off
+      end
+    done
+  done;
+  Pool.fence t.meta
+
+(* ---------- introspection (tests) ---------- *)
+
+let rec subtree_size cur =
+  if Pptr.is_tagged cur then 1
+  else
+    List.fold_left (fun acc (_, c) -> acc + subtree_size c) 0 (child_list (node_of cur))
+
+let cardinal t =
+  let root = read_root t in
+  if Pptr.is_null root then 0 else subtree_size root
+
+let depth_histogram t =
+  let tbl = Hashtbl.create 16 in
+  let rec visit cur d =
+    if Pptr.is_tagged cur then
+      Hashtbl.replace tbl d (1 + Option.value ~default:0 (Hashtbl.find_opt tbl d))
+    else List.iter (fun (_, c) -> visit c (d + 1)) (child_list (node_of cur))
+  in
+  let root = read_root t in
+  if not (Pptr.is_null root) then visit root 0;
+  tbl

@@ -1,0 +1,316 @@
+module Pool = Nvm.Pool
+module Pptr = Pmalloc.Pptr
+
+(* On-node layout (offsets in bytes):
+   0   version lock          8   valid bitmap (int64)
+   16  next pointer          24  prev pointer
+   32  deleted mark          40  permutation version
+   48  anchor length         64  fingerprints (64 B, line-aligned)
+   128 permutation (64 B, line-aligned, not persisted)
+   192 anchor bytes (<= 32)  256 key-value slots *)
+
+let entries = 64
+
+let off_lock = 0
+
+let off_bitmap = 8
+
+let off_next = 16
+
+let off_prev = 24
+
+let off_deleted = 32
+
+let off_perm_version = 40
+
+let off_anchor_len = 48
+
+let off_fingerprints = 64
+
+let off_permutation = 128
+
+let off_anchor = 192
+
+let off_kv = 256
+
+type layout = { inline : int; stride : int; node_size : int; persist_perm : bool }
+
+let round_up x align = (x + align - 1) / align * align
+
+let layout ?(persist_perm = false) ~key_inline () =
+  if key_inline <> 8 && key_inline <> Key.max_len then
+    invalid_arg "Data_node.layout: key_inline must be 8 or 32";
+  let stride =
+    if key_inline = 8 then 16 (* value 8 + key 8 *)
+    else round_up (8 + 1 + key_inline) 8 (* value 8 + klen 1 + key bytes *)
+  in
+  { inline = key_inline; stride; node_size = off_kv + (entries * stride); persist_perm }
+
+type t = { pool : Pool.t; off : int }
+
+let of_ptr ptr = { pool = Pmalloc.Registry.resolve ptr; off = Pptr.off ptr }
+
+let to_ptr t = Pptr.make ~pool:(Pool.id t.pool) ~off:t.off
+
+let equal a b = Pool.id a.pool = Pool.id b.pool && a.off = b.off
+
+let lock_handle t = { Vlock.pool = t.pool; off = t.off + off_lock }
+
+let bitmap t = Pool.read_int64 t.pool (t.off + off_bitmap)
+
+let set_bitmap t bm = Pool.write_int64 t.pool (t.off + off_bitmap) bm
+
+let next t = Pool.read_int t.pool (t.off + off_next)
+
+let set_next t p = Pool.write_int t.pool (t.off + off_next) p
+
+let prev t = Pool.read_int t.pool (t.off + off_prev)
+
+let set_prev t p = Pool.write_int t.pool (t.off + off_prev) p
+
+let is_deleted t = Pool.read_int t.pool (t.off + off_deleted) <> 0
+
+let set_deleted t flag = Pool.write_int t.pool (t.off + off_deleted) (Bool.to_int flag)
+
+let anchor lay t =
+  ignore lay;
+  let len = Pool.read_int t.pool (t.off + off_anchor_len) in
+  Pool.read_string t.pool (t.off + off_anchor) len
+
+(* Allocation-free [compare (anchor t) k]. *)
+let compare_anchor t k =
+  let len = Pool.read_int t.pool (t.off + off_anchor_len) in
+  Pool.compare_string t.pool (t.off + off_anchor) len k
+
+let init lay t ~gen ~anchor ~next ~prev =
+  Pool.fill_zero t.pool t.off lay.node_size;
+  Vlock.init (lock_handle t) ~gen;
+  Pool.write_int t.pool (t.off + off_next) next;
+  Pool.write_int t.pool (t.off + off_prev) prev;
+  Pool.write_int t.pool (t.off + off_anchor_len) (String.length anchor);
+  Pool.write_string t.pool (t.off + off_anchor) anchor
+
+(* Key-value slots.  Integer layout: value, 8-byte key.  String
+   layout: value, length byte, key bytes. *)
+let entry_off lay slot = off_kv + (slot * lay.stride)
+
+let value_at lay t slot = Pool.read_int t.pool (t.off + entry_off lay slot)
+
+let set_value lay t slot v = Pool.write_int t.pool (t.off + entry_off lay slot) v
+
+let key_at lay t slot =
+  let e = t.off + entry_off lay slot in
+  if lay.inline = 8 then Pool.read_string t.pool (e + 8) 8
+  else
+    let len = Pool.read_u8 t.pool (e + 8) in
+    Pool.read_string t.pool (e + 9) len
+
+(* Allocation-free comparison of the slot key with [k]. *)
+let compare_key_at lay t slot k =
+  let e = t.off + entry_off lay slot in
+  if lay.inline = 8 then Pool.compare_string t.pool (e + 8) 8 k
+  else
+    let len = Pool.read_u8 t.pool (e + 8) in
+    Pool.compare_string t.pool (e + 9) len k
+
+let set_entry lay t slot key v =
+  let e = t.off + entry_off lay slot in
+  Pool.write_int t.pool e v;
+  if lay.inline = 8 then Pool.write_string t.pool (e + 8) key
+  else begin
+    Pool.write_u8 t.pool (e + 8) (String.length key);
+    Pool.write_string t.pool (e + 9) key
+  end;
+  Pool.write_u8 t.pool (t.off + off_fingerprints + slot) (Fingerprint.of_key key)
+
+let _fingerprint_at t slot = Pool.read_u8 t.pool (t.off + off_fingerprints + slot)
+
+let bit slot = Int64.shift_left 1L slot
+
+let test_bit bm slot = Int64.logand bm (bit slot) <> 0L
+
+let live_count t =
+  let bm = bitmap t in
+  let rec go acc i =
+    if i >= entries then acc else go (if test_bit bm i then acc + 1 else acc) (i + 1)
+  in
+  go 0 0
+
+let first_empty bm =
+  let rec go i =
+    if i >= entries then None else if test_bit bm i then go (i + 1) else Some i
+  in
+  go 0
+
+let find lay t k =
+  let bm = bitmap t in
+  let fp = Fingerprint.of_key k in
+  (* one cache access covers the whole fingerprint line (the AVX512
+     match of the paper, §5.2) *)
+  let fps = Pool.read_string t.pool (t.off + off_fingerprints) entries in
+  let rec go slot =
+    if slot >= entries then None
+    else if
+      test_bit bm slot
+      && Char.code (String.unsafe_get fps slot) = fp
+      && compare_key_at lay t slot k = 0
+    then Some (slot, value_at lay t slot)
+    else go (slot + 1)
+  in
+  go 0
+
+let live_entries lay t =
+  let bm = bitmap t in
+  let rec go acc slot =
+    if slot < 0 then acc
+    else
+      go (if test_bit bm slot then (key_at lay t slot, value_at lay t slot) :: acc else acc)
+        (slot - 1)
+  in
+  go [] (entries - 1)
+
+let sorted_live lay t =
+  let bm = bitmap t in
+  let rec collect acc slot =
+    if slot < 0 then acc
+    else
+      collect (if test_bit bm slot then (key_at lay t slot, slot) :: acc else acc)
+        (slot - 1)
+  in
+  List.sort (fun (a, _) (b, _) -> Key.compare a b) (collect [] (entries - 1))
+
+type write_result = Ok | Full | Absent
+
+(* Rebuild and (ablation only) persist the permutation array; caller
+   decides when.  The stamp ties the array to the lock version so
+   readers can detect staleness (§5.2). *)
+let write_permutation t sorted =
+  List.iteri
+    (fun i (_, slot) -> Pool.write_u8 t.pool (t.off + off_permutation + i) slot)
+    sorted
+
+let stamp_permutation t =
+  (* Record the raw lock word so any later writer invalidates it. *)
+  let word = Pool.read_int t.pool (t.off + off_lock) in
+  Pool.write_int t.pool (t.off + off_perm_version) word
+
+let rebuild_permutation lay t =
+  let sorted = sorted_live lay t in
+  write_permutation t sorted;
+  stamp_permutation t;
+  if lay.persist_perm then begin
+    Pool.flush_range t.pool (t.off + off_permutation) entries;
+    Pool.persist t.pool (t.off + off_perm_version) 8
+  end;
+  List.length sorted
+
+let permutation_fresh t =
+  Pool.read_int t.pool (t.off + off_perm_version) = Pool.read_int t.pool (t.off + off_lock)
+
+let refresh_permutation lay t =
+  if permutation_fresh t then live_count t else rebuild_permutation lay t
+
+let persist_slot lay t slot =
+  let e = t.off + entry_off lay slot in
+  Pool.flush_range t.pool e lay.stride;
+  Pool.clwb t.pool (t.off + off_fingerprints + slot);
+  Pool.fence t.pool
+
+let persist_bitmap t =
+  Pool.clwb t.pool (t.off + off_bitmap);
+  Pool.fence t.pool
+
+let maybe_persist_perm lay t =
+  if lay.persist_perm then ignore (rebuild_permutation lay t)
+
+let insert lay t k v =
+  let bm = bitmap t in
+  match first_empty bm with
+  | None -> Full
+  | Some slot ->
+      set_entry lay t slot k v;
+      persist_slot lay t slot (* durability point for the pair *);
+      set_bitmap t (Int64.logor bm (bit slot));
+      persist_bitmap t (* linearization point, persisted *);
+      maybe_persist_perm lay t;
+      Ok
+
+let delete lay t k =
+  match find lay t k with
+  | None -> Absent
+  | Some (slot, _) ->
+      set_bitmap t (Int64.logand (bitmap t) (Int64.lognot (bit slot)));
+      persist_bitmap t;
+      maybe_persist_perm lay t;
+      Ok
+
+let update lay t k v =
+  match find lay t k with
+  | None -> Absent
+  | Some (old_slot, _) -> (
+      let bm = bitmap t in
+      match first_empty bm with
+      | Some slot ->
+          (* Out-of-place: persist the new pair, then one atomic
+             bitmap write retires the old slot and publishes the new. *)
+          set_entry lay t slot k v;
+          persist_slot lay t slot;
+          set_bitmap t
+            (Int64.logor (Int64.logand bm (Int64.lognot (bit old_slot))) (bit slot));
+          persist_bitmap t;
+          maybe_persist_perm lay t;
+          Ok
+      | None ->
+          (* Node full: an 8-byte value store is itself atomic. *)
+          set_value lay t old_slot v;
+          Pool.persist t.pool (t.off + entry_off lay old_slot) 8;
+          Ok)
+
+let scan_from lay t k ~f =
+  let n = refresh_permutation lay t in
+  let rec go i =
+    if i >= n then true
+    else
+      let slot = Pool.read_u8 t.pool (t.off + off_permutation + i) in
+      if compare_key_at lay t slot k < 0 then go (i + 1)
+      else if f (key_at lay t slot) (value_at lay t slot) then go (i + 1)
+      else false
+  in
+  go 0
+
+let copy_into lay ~src ~dst pairs =
+  List.iteri
+    (fun i (key, slot) ->
+      set_entry lay dst i key (value_at lay src slot);
+      ())
+    pairs;
+  let bm =
+    List.fold_left (fun acc i -> Int64.logor acc (bit i)) 0L
+      (List.init (List.length pairs) Fun.id)
+  in
+  set_bitmap dst bm
+
+let clear_slots t slots =
+  let bm =
+    List.fold_left (fun acc s -> Int64.logand acc (Int64.lognot (bit s))) (bitmap t) slots
+  in
+  set_bitmap t bm;
+  persist_bitmap t
+
+let absorb lay ~src ~dst =
+  let pairs = live_entries lay src in
+  let bm = ref (bitmap dst) in
+  let added = ref [] in
+  List.iter
+    (fun (key, v) ->
+      match first_empty !bm with
+      | None -> invalid_arg "Data_node.absorb: destination too full"
+      | Some slot ->
+          set_entry lay dst slot key v;
+          persist_slot lay dst slot;
+          bm := Int64.logor !bm (bit slot);
+          added := slot :: !added)
+    pairs;
+  set_bitmap dst !bm;
+  persist_bitmap dst;
+  maybe_persist_perm lay dst

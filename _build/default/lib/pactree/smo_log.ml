@@ -1,0 +1,124 @@
+module Pool = Nvm.Pool
+module Pptr = Pmalloc.Pptr
+
+(* Entry layout (128 bytes, two cache lines):
+   0 state (0 free / 1 split / 2 merge)   8 timestamp
+   16 left node ptr                       24 aux (new node / right node)
+   32 anchor length                       40..71 anchor bytes *)
+
+let entry_size = 128
+
+let rings = 256
+
+let entries_per_ring = 64
+
+let region_size = rings * entries_per_ring * entry_size
+
+type t = {
+  pools : Pool.t array;
+  base : int;
+  cursors : (int, int) Hashtbl.t; (* thread id -> next slot hint *)
+}
+
+type entry_ref = { pool : Pool.t; off : int }
+
+type payload =
+  | Split of { left : Pptr.t; anchor : Key.t }
+  | Merge of { left : Pptr.t; right : Pptr.t; anchor : Key.t }
+
+let create pools ~base =
+  Array.iter
+    (fun p ->
+      if Pool.capacity p < base + region_size then
+        invalid_arg "Smo_log.create: log pool too small")
+    pools;
+  { pools; base; cursors = Hashtbl.create 64 }
+
+let ring_base t tid = t.base + (tid land (rings - 1)) * entries_per_ring * entry_size
+
+let thread_ring t =
+  let tid = Des.Sched.current_id () in
+  let numa = Des.Sched.current_numa () in
+  (t.pools.(numa mod Array.length t.pools), ring_base t tid, tid)
+
+let state e = Pool.read_int e.pool e.off
+
+let write_entry e ~ts payload =
+  Pool.write_int e.pool (e.off + 8) ts;
+  let left, aux0, anchor, kind =
+    match payload with
+    | Split { left; anchor } -> (left, Pptr.null, anchor, 1)
+    | Merge { left; right; anchor } -> (left, right, anchor, 2)
+  in
+  Pool.write_int e.pool (e.off + 16) left;
+  Pool.write_int e.pool (e.off + 24) aux0;
+  Pool.write_int e.pool (e.off + 32) (String.length anchor);
+  Pool.write_string e.pool (e.off + 40) anchor;
+  (* Fields first, then the state flag: a persisted nonzero state
+     implies a complete entry. *)
+  Pool.persist e.pool e.off entry_size;
+  Pool.write_int e.pool e.off kind;
+  Pool.persist e.pool e.off 8
+
+let append t ~ts payload =
+  let pool, rbase, tid = thread_ring t in
+  let hint = Option.value ~default:0 (Hashtbl.find_opt t.cursors tid) in
+  let rec find_free attempt i tried =
+    if tried >= entries_per_ring then begin
+      (* Ring full: wait for the updater (back-pressure, §5.6). *)
+      if attempt > 50_000 then failwith "Smo_log.append: ring stuck (updater dead?)";
+      Des.Sched.delay (500e-9 *. float_of_int (1 lsl min attempt 9));
+      find_free (attempt + 1) hint 0
+    end
+    else
+      let off = rbase + (i mod entries_per_ring * entry_size) in
+      let e = { pool; off } in
+      if state e = 0 then begin
+        Hashtbl.replace t.cursors tid ((i + 1) mod entries_per_ring);
+        e
+      end
+      else find_free attempt (i + 1) (tried + 1)
+  in
+  let e = find_free 0 hint 0 in
+  write_entry e ~ts payload;
+  e
+
+let aux_field e = (e.pool, e.off + 24)
+
+let aux e = Pool.read_int e.pool (e.off + 24)
+
+let read e =
+  match state e with
+  | 0 -> None
+  | kind ->
+      let ts = Pool.read_int e.pool (e.off + 8) in
+      let left = Pool.read_int e.pool (e.off + 16) in
+      let aux0 = Pool.read_int e.pool (e.off + 24) in
+      let alen = Pool.read_int e.pool (e.off + 32) in
+      let anchor = Pool.read_string e.pool (e.off + 40) alen in
+      let payload =
+        if kind = 1 then Split { left; anchor }
+        else Merge { left; right = aux0; anchor }
+      in
+      Some (ts, payload)
+
+let clear e =
+  Pool.write_int e.pool e.off 0;
+  Pool.persist e.pool e.off 8
+
+let iter_active t ~f =
+  Array.iter
+    (fun pool ->
+      for ring = 0 to rings - 1 do
+        for slot = 0 to entries_per_ring - 1 do
+          let off = t.base + (ring * entries_per_ring * entry_size) + (slot * entry_size) in
+          let e = { pool; off } in
+          if state e <> 0 then f e
+        done
+      done)
+    t.pools
+
+let active_count t =
+  let n = ref 0 in
+  iter_active t ~f:(fun _ -> incr n);
+  !n

@@ -1,0 +1,53 @@
+(** Per-thread persistent SMO logs (paper §5.6).
+
+    Every data-node split or merge is logged before it mutates the
+    data layer; the background updater (or crash recovery) replays
+    entries in timestamp order to synchronise the search layer, then
+    clears them.  The split entry's auxiliary field doubles as the
+    malloc-to destination for the new data node, so an interrupted
+    split can never leak it.
+
+    Each simulated thread owns a ring of entries on its NUMA domain's
+    log pool; a full ring back-pressures the writer until the updater
+    catches up. *)
+
+type t
+
+type entry_ref = { pool : Nvm.Pool.t; off : int }
+
+type payload =
+  | Split of { left : Pmalloc.Pptr.t; anchor : Key.t }
+      (** [left] is the splitting node, [anchor] the new node's anchor
+          key; the new node pointer lands in the aux field. *)
+  | Merge of { left : Pmalloc.Pptr.t; right : Pmalloc.Pptr.t; anchor : Key.t }
+      (** [right] (whose anchor is [anchor]) merges into [left]. *)
+
+(** Bytes of pool space one ring region needs. *)
+val region_size : int
+
+(** [create pools ~base] lays rings out at offset [base] of each
+    per-NUMA pool. *)
+val create : Nvm.Pool.t array -> base:int -> t
+
+(** Append to the calling thread's ring; blocks (simulated) while the
+    ring is full.  Two fences: fields first, state last. *)
+val append : t -> ts:int -> payload -> entry_ref
+
+(** Destination (pool, offset) of a split entry's new-node field, for
+    {!Pmalloc.Heap.alloc_to}. *)
+val aux_field : entry_ref -> Nvm.Pool.t * int
+
+(** Auxiliary pointer value (split: the new node once allocated). *)
+val aux : entry_ref -> Pmalloc.Pptr.t
+
+(** Decode an entry; [None] if the slot is free. *)
+val read : entry_ref -> (int * payload) option
+
+(** Mark the entry replayed (persisted). *)
+val clear : entry_ref -> unit
+
+(** Scan every ring on every pool — used by recovery. *)
+val iter_active : t -> f:(entry_ref -> unit) -> unit
+
+(** Number of active entries (tests). *)
+val active_count : t -> int

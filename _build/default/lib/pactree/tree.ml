@@ -1,0 +1,804 @@
+(* PACTree (paper §4-§5): a persistent hybrid range index.
+
+   - Data layer: a doubly-linked list of slotted {!Data_node}s.
+   - Search layer: {!Art} (PDL-ART) indexing anchor keys.
+   - The two layers are decoupled: splits and merges log to the
+     per-thread {!Smo_log} and return; a background updater replays
+     the log into the search layer (§4.3).  Readers tolerate the
+     ephemeral inconsistency by walking the data layer's sibling
+     pointers from the "jump node" (§5.3).
+
+   Configuration toggles expose the paper's factor analysis (Fig 12):
+   per-NUMA pools, selective persistence, async vs synchronous SMO,
+   and a DRAM-resident search layer. *)
+
+module Pool = Nvm.Pool
+module Machine = Nvm.Machine
+module Heap = Pmalloc.Heap
+module Pptr = Pmalloc.Pptr
+module Node = Data_node
+
+type config = {
+  key_inline : int;  (** 8 (integer keys) or 32 (string keys) *)
+  numa_pools : int;  (** 0 = one pool per NUMA domain (default) *)
+  async_smo : bool;  (** asynchronous search-layer update (§4.3) *)
+  selective_persistence : bool;  (** do not persist permutation arrays (§4.4) *)
+  search_layer_dram : bool;  (** place the search layer in DRAM (ablation) *)
+  alloc_kind : Heap.kind;
+  data_capacity : int;
+  search_capacity : int;
+}
+
+let default_config =
+  {
+    key_inline = 8;
+    numa_pools = 0;
+    async_smo = true;
+    selective_persistence = true;
+    search_layer_dram = false;
+    alloc_kind = Heap.Pmdk;
+    data_capacity = 1 lsl 26;
+    search_capacity = 1 lsl 24;
+  }
+
+type stats = {
+  mutable splits : int;
+  mutable merges : int;
+  mutable reader_retries : int;
+}
+
+type t = {
+  machine : Machine.t;
+  cfg : config;
+  lay : Node.layout;
+  data_heap : Heap.t;
+  search_heap : Heap.t;
+  log : Smo_log.t;
+  meta : Pool.t;
+  art : Art.t;
+  epoch : Epoch.t;
+  mutable gen : int;
+  (* updater coordination (volatile) *)
+  uwq : Des.Sched.Waitq.t;
+  pending_refs : Smo_log.entry_ref Queue.t;
+  mutable smo_hint : bool;
+  mutable shutdown : bool;
+  mutable updater_running : bool;
+  jump_hist : int array; (* §6.7: hops from jump node to target *)
+  stats : stats;
+}
+
+(* Tree-private meta fields live just past the trie's meta region. *)
+let round_up x a = (x + a - 1) / a * a
+
+let tree_meta_base = round_up Art.meta_size 64
+
+let off_head = tree_meta_base
+
+let off_ts = tree_meta_base + 8
+
+let epoch t = t.epoch
+
+let machine t = t.machine
+
+let data_heap t = t.data_heap
+
+let search_heap t = t.search_heap
+
+let layout t = t.lay
+
+let stats t = t.stats
+
+let art_stats t = Art.stats t.art
+
+let jump_histogram t = Array.copy t.jump_hist
+
+let create machine ?(cfg = default_config) () =
+  let numa_count = Machine.numa_count machine in
+  let npools = if cfg.numa_pools = 0 then numa_count else cfg.numa_pools in
+  let data_heap =
+    Heap.create machine ~kind:cfg.alloc_kind ~name:"pactree.data" ~numa_pools:npools
+      ~capacity:cfg.data_capacity ()
+  in
+  let search_heap =
+    (* A DRAM search layer uses volatile heap metadata too: there is
+       nothing crash-consistent about DRAM (the ablation's point). *)
+    let kind = if cfg.search_layer_dram then Heap.Volatile_meta else cfg.alloc_kind in
+    Heap.create machine ~volatile_pool:cfg.search_layer_dram ~kind ~name:"pactree.search"
+      ~numa_pools:npools ~capacity:cfg.search_capacity ()
+  in
+  let log_pools =
+    Array.init npools (fun i ->
+        let p =
+          Pool.create machine
+            ~name:(Printf.sprintf "pactree.log.%d" i)
+            ~numa:(i mod numa_count) ~capacity:Smo_log.region_size ()
+        in
+        Pmalloc.Registry.register p;
+        p)
+  in
+  let log = Smo_log.create log_pools ~base:0 in
+  let meta =
+    Pool.create machine ~name:"pactree.meta" ~numa:0 ~capacity:(tree_meta_base + 64) ()
+  in
+  Pmalloc.Registry.register meta;
+  let lay =
+    Node.layout ~persist_perm:(not cfg.selective_persistence) ~key_inline:cfg.key_inline ()
+  in
+  let key_of_leaf ptr = Key.to_radix (Node.anchor lay (Node.of_ptr ptr)) in
+  let epoch = Epoch.create () in
+  let art = Art.create ~heap:search_heap ~meta ~epoch ~key_of_leaf in
+  let t =
+    {
+      machine;
+      cfg;
+      lay;
+      data_heap;
+      search_heap;
+      log;
+      meta;
+      art;
+      epoch;
+      gen = Art.generation art;
+      uwq = Des.Sched.Waitq.create ();
+      pending_refs = Queue.create ();
+      smo_hint = false;
+      shutdown = false;
+      updater_running = false;
+      jump_hist = Array.make 16 0;
+      stats = { splits = 0; merges = 0; reader_retries = 0 };
+    }
+  in
+  (* Bootstrap: one head data node with the minimum anchor "".  The
+     head pointer doubles as the malloc-to destination, so creation
+     itself cannot leak. *)
+  if Pool.read_int meta off_head = 0 then begin
+    let ptr =
+      Heap.alloc_to data_heap ~numa:0 ~size:lay.Node.node_size ~dest_pool:meta
+        ~dest_off:off_head ()
+    in
+    let head = Node.of_ptr ptr in
+    Node.init lay head ~gen:t.gen ~anchor:"" ~next:Pptr.null ~prev:Pptr.null;
+    Pool.persist head.Node.pool head.Node.off lay.Node.node_size;
+    ignore (Art.insert art (Key.to_radix "") ptr)
+  end;
+  t
+
+let head_node t = Node.of_ptr (Pool.read_int t.meta off_head)
+
+(* Monotonic SMO timestamps (persisted lazily; replay order only
+   matters among entries that coexist). *)
+let next_ts t =
+  let rec go () =
+    let v = Pool.read_int t.meta off_ts in
+    if Pool.cas_int t.meta off_ts ~expected:v (v + 1) then begin
+      Pool.clwb t.meta off_ts;
+      v + 1
+    end
+    else go ()
+  in
+  go ()
+
+(* ---------- locating the target data node (§5.3) ---------- *)
+
+exception Lost
+(* Raised when the data-layer walk does not converge (e.g. after
+   reading state a concurrent SMO tore down); callers retry. *)
+
+(* From the search-layer jump node, walk sibling pointers until the
+   node whose [anchor, next.anchor) range covers [key].  Unsynchronised
+   search layers only cost extra hops (ephemeral inconsistency). *)
+let locate t key =
+  let rkey = Key.to_radix key in
+  let jump =
+    match Art.lookup_le t.art rkey with
+    | Some p -> Node.of_ptr p
+    | None -> head_node t
+  in
+  let rec walk node hops =
+    if hops >= 1000 then raise Lost
+    else if Node.is_deleted node then walk (Node.of_ptr (Node.prev node)) (hops + 1)
+    else if Node.compare_anchor node key > 0 then
+      walk (Node.of_ptr (Node.prev node)) (hops + 1)
+    else begin
+      let nxt = Node.next node in
+      if (not (Pptr.is_null nxt)) && Node.compare_anchor (Node.of_ptr nxt) key <= 0 then
+        walk (Node.of_ptr nxt) (hops + 1)
+      else (node, hops)
+    end
+  in
+  let node, hops = walk jump 0 in
+  let bucket = min hops (Array.length t.jump_hist - 1) in
+  t.jump_hist.(bucket) <- t.jump_hist.(bucket) + 1;
+  node
+
+(* Is [node], under its current state, the right home for [key]? *)
+let covers node key =
+  (not (Node.is_deleted node))
+  && Node.compare_anchor node key <= 0
+  &&
+  let nxt = Node.next node in
+  Pptr.is_null nxt || Node.compare_anchor (Node.of_ptr nxt) key > 0
+
+(* Optimistic read of the target node: [f] must be read-only; its
+   result is returned once the version validates.  (Kept for scans /
+   future read operations; [lookup] has a specialised fast path.) *)
+let _with_reader t key f =
+  Epoch.enter t.epoch;
+  Fun.protect ~finally:(fun () -> Epoch.exit t.epoch) @@ fun () ->
+  let rec attempt n =
+    if n > 10_000 then failwith "Tree: reader livelock";
+    match locate t key with
+    | exception Lost ->
+        t.stats.reader_retries <- t.stats.reader_retries + 1;
+        Des.Sched.delay 100e-9;
+        attempt (n + 1)
+    | node ->
+        let h = Node.lock_handle node in
+        let v = Vlock.begin_read h ~gen:t.gen in
+        if not (covers node key) then begin
+          t.stats.reader_retries <- t.stats.reader_retries + 1;
+          Des.Sched.delay 50e-9;
+          attempt (n + 1)
+        end
+        else begin
+          let r = f node in
+          if Vlock.validate h ~gen:t.gen ~version:v then r
+          else begin
+            t.stats.reader_retries <- t.stats.reader_retries + 1;
+            attempt (n + 1)
+          end
+        end
+  in
+  attempt 0
+
+(* Write-lock the target node (§5.5: all writes lock, work, release). *)
+let locked_target t key =
+  let rec attempt n =
+    if n > 10_000 then failwith "Tree: writer livelock";
+    match locate t key with
+    | exception Lost ->
+        Des.Sched.delay 100e-9;
+        attempt (n + 1)
+    | node ->
+        let h = Node.lock_handle node in
+        let wv = Vlock.acquire h ~gen:t.gen in
+        if covers node key then (node, wv)
+        else begin
+          Vlock.release h ~gen:t.gen ~version:wv;
+          Des.Sched.delay 50e-9;
+          attempt (n + 1)
+        end
+  in
+  attempt 0
+
+let release t node wv = Vlock.release (Node.lock_handle node) ~gen:t.gen ~version:wv
+
+(* ---------- SMO replay (updater fast path) ---------- *)
+
+(* Fast-path replay for entries produced by a completed split: the
+   data layer is already consistent; only the search layer lags. *)
+let replay_split_fast t e =
+  match Smo_log.read e with
+  | Some (_, Smo_log.Split { anchor; _ }) ->
+      let new_ptr = Smo_log.aux e in
+      assert (not (Pptr.is_null new_ptr));
+      ignore (Art.insert t.art (Key.to_radix anchor) new_ptr);
+      Smo_log.clear e
+  | _ -> ()
+
+let replay_merge_fast t e =
+  match Smo_log.read e with
+  | Some (_, Smo_log.Merge { right; anchor; _ }) ->
+      (* Delete the anchor only while it still names the merged node:
+         a later split of the absorbing node may legitimately reuse
+         the anchor key. *)
+      (match Art.lookup t.art (Key.to_radix anchor) with
+      | Some p when Pptr.equal p right -> ignore (Art.delete t.art (Key.to_radix anchor))
+      | Some _ | None -> ());
+      (* Physically free after two epochs (§5.6); the log entry stays
+         until the free is durable so recovery can still find it. *)
+      Epoch.defer t.epoch (fun () ->
+          Heap.free t.data_heap right;
+          Smo_log.clear e)
+  | _ -> ()
+
+let replay_entry_fast t e =
+  match Smo_log.read e with
+  | Some (_, Smo_log.Split _) -> replay_split_fast t e
+  | Some (_, Smo_log.Merge _) -> replay_merge_fast t e
+  | None -> ()
+
+let enqueue_smo t e =
+  if t.cfg.async_smo && (t.updater_running || Des.Sched.running ()) then begin
+    Queue.push e t.pending_refs;
+    t.smo_hint <- true;
+    match Des.Sched.self () with
+    | Some sched -> Des.Sched.Waitq.signal_all sched t.uwq
+    | None -> ()
+  end
+  else replay_entry_fast t e
+
+(* ---------- split (§5.6) ---------- *)
+
+let persist_field pool off = Pool.persist pool off 8
+
+let split_and_insert t node wv key value =
+  t.stats.splits <- t.stats.splits + 1;
+  let sorted = Node.sorted_live t.lay node in
+  let total = List.length sorted in
+  let move = List.filteri (fun i _ -> i >= total / 2) sorted in
+  let anchor = fst (List.hd move) in
+  (* 1. Log the split. *)
+  let ts = next_ts t in
+  let e = Smo_log.append t.log ~ts (Smo_log.Split { left = Node.to_ptr node; anchor }) in
+  (* 2. Allocate the new node straight into the log entry (no leak). *)
+  let dest_pool, dest_off = Smo_log.aux_field e in
+  let new_ptr = Heap.alloc_to t.data_heap ~size:t.lay.Node.node_size ~dest_pool ~dest_off () in
+  let nnode = Node.of_ptr new_ptr in
+  (* 3. Build and persist the new node before publishing it. *)
+  let old_next = Node.next node in
+  Node.init t.lay nnode ~gen:t.gen ~anchor ~next:old_next ~prev:(Node.to_ptr node);
+  Node.copy_into t.lay ~src:node ~dst:nnode move;
+  Pool.persist nnode.Node.pool nnode.Node.off t.lay.Node.node_size;
+  (* 4. Publish: link right of the splitting node (atomic). *)
+  Node.set_next node new_ptr;
+  persist_field node.Node.pool (node.Node.off + Node.off_next);
+  (* 5. Retire the moved slots (atomic bitmap update). *)
+  Node.clear_slots node (List.map snd move);
+  (* 6. Fix the right neighbour's prev pointer. *)
+  if not (Pptr.is_null old_next) then begin
+    let rn = Node.of_ptr old_next in
+    Node.set_prev rn new_ptr;
+    persist_field rn.Node.pool (rn.Node.off + Node.off_prev)
+  end;
+  (* 7. Search layer: async (off the critical path) or inline. *)
+  enqueue_smo t e;
+  (* 8. Finally place the pending key-value pair. *)
+  if Key.compare key anchor < 0 then begin
+    (match Node.insert t.lay node key value with
+    | Node.Ok -> ()
+    | Node.Full | Node.Absent -> assert false);
+    release t node wv
+  end
+  else begin
+    let nwv = Vlock.acquire (Node.lock_handle nnode) ~gen:t.gen in
+    (match Node.insert t.lay nnode key value with
+    | Node.Ok -> ()
+    | Node.Full | Node.Absent -> assert false);
+    release t nnode nwv;
+    release t node wv
+  end
+
+(* ---------- merge (§5.6) ---------- *)
+
+let merge_threshold = Node.entries / 2
+
+let try_merge t node =
+  let nxt = Node.next node in
+  if Pptr.is_null nxt then false
+  else begin
+    let rn = Node.of_ptr nxt in
+    (* [node] is locked, so node.next is stable and rn cannot be
+       concurrently merged away (that would need our lock). *)
+    if Node.live_count node + Node.live_count rn >= merge_threshold then false
+    else begin
+      t.stats.merges <- t.stats.merges + 1;
+      let rwv = Vlock.acquire (Node.lock_handle rn) ~gen:t.gen in
+      let anchor = Node.anchor t.lay rn in
+      let ts = next_ts t in
+      let e =
+        Smo_log.append t.log ~ts
+          (Smo_log.Merge { left = Node.to_ptr node; right = nxt; anchor })
+      in
+      (* Move the right node's pairs into the left (bitmap-atomic). *)
+      Node.absorb t.lay ~src:rn ~dst:node;
+      (* Logical deletion, then unlink. *)
+      Node.set_deleted rn true;
+      persist_field rn.Node.pool (rn.Node.off + Node.off_deleted);
+      let rnn = Node.next rn in
+      Node.set_next node rnn;
+      persist_field node.Node.pool (node.Node.off + Node.off_next);
+      if not (Pptr.is_null rnn) then begin
+        let rnn_node = Node.of_ptr rnn in
+        Node.set_prev rnn_node (Node.to_ptr node);
+        persist_field rnn_node.Node.pool (rnn_node.Node.off + Node.off_prev)
+      end;
+      enqueue_smo t e;
+      Vlock.release (Node.lock_handle rn) ~gen:t.gen ~version:rwv;
+      true
+    end
+  end
+
+(* ---------- public operations ---------- *)
+
+(* Lookup fast path (§5.3): go straight to the search layer's jump
+   node and search it.  Every live key exists in exactly one data
+   node, so a validated hit needs no range check at all — in the
+   common case the lookup touches no sibling.  Only a miss (or a jump
+   node that does not cover the key) falls back to the bounds check
+   and the sibling walk. *)
+let lookup t key =
+  Epoch.enter t.epoch;
+  Fun.protect ~finally:(fun () -> Epoch.exit t.epoch) @@ fun () ->
+  let rkey = Key.to_radix key in
+  let rec attempt n ~use_jump =
+    if n > 10_000 then failwith "Tree: reader livelock";
+    let retry () =
+      t.stats.reader_retries <- t.stats.reader_retries + 1;
+      Des.Sched.delay 50e-9;
+      attempt (n + 1) ~use_jump:false
+    in
+    let try_node node ~direct =
+      let h = Node.lock_handle node in
+      let v = Vlock.begin_read h ~gen:t.gen in
+      if direct && (Node.is_deleted node || Node.compare_anchor node key > 0) then
+        (* the jump node cannot host the key: take the walking path *)
+        attempt n ~use_jump:false
+      else begin
+        match Node.find t.lay node key with
+        | Some (_, value) ->
+            if Vlock.validate h ~gen:t.gen ~version:v then begin
+              if direct then t.jump_hist.(0) <- t.jump_hist.(0) + 1;
+              Some value
+            end
+            else retry ()
+        | None ->
+            if covers node key && Vlock.validate h ~gen:t.gen ~version:v then begin
+              if direct then t.jump_hist.(0) <- t.jump_hist.(0) + 1;
+              None
+            end
+            else if direct then attempt n ~use_jump:false
+            else retry ()
+      end
+    in
+    if use_jump then begin
+      match Art.lookup_le t.art rkey with
+      | Some p -> try_node (Node.of_ptr p) ~direct:true
+      | None -> try_node (head_node t) ~direct:true
+    end
+    else begin
+      match locate t key with
+      | exception Lost -> retry ()
+      | node -> try_node node ~direct:false
+    end
+  in
+  attempt 0 ~use_jump:true
+
+let insert t key value =
+  Epoch.enter t.epoch;
+  Fun.protect ~finally:(fun () -> Epoch.exit t.epoch) @@ fun () ->
+  let node, wv = locked_target t key in
+  match Node.find t.lay node key with
+  | Some _ ->
+      (match Node.update t.lay node key value with
+      | Node.Ok -> ()
+      | Node.Full | Node.Absent -> assert false);
+      release t node wv
+  | None -> (
+      match Node.insert t.lay node key value with
+      | Node.Ok -> release t node wv
+      | Node.Full -> split_and_insert t node wv key value
+      | Node.Absent -> assert false)
+
+let update t key value =
+  Epoch.enter t.epoch;
+  Fun.protect ~finally:(fun () -> Epoch.exit t.epoch) @@ fun () ->
+  let node, wv = locked_target t key in
+  let r = Node.update t.lay node key value in
+  release t node wv;
+  r = Node.Ok
+
+(* Merge [node] into its left neighbour (fresh left-then-right lock
+   acquisition, so lock order stays left-to-right). *)
+let try_merge_left t node_ptr =
+  let node = Node.of_ptr node_ptr in
+  let p = Node.prev node in
+  if not (Pptr.is_null p) then begin
+    let pnode = Node.of_ptr p in
+    let h = Node.lock_handle pnode in
+    let wv = Vlock.acquire h ~gen:t.gen in
+    if (not (Node.is_deleted pnode)) && Pptr.equal (Node.next pnode) node_ptr then
+      ignore (try_merge t pnode);
+    Vlock.release h ~gen:t.gen ~version:wv
+  end
+
+let delete t key =
+  Epoch.enter t.epoch;
+  Fun.protect ~finally:(fun () -> Epoch.exit t.epoch) @@ fun () ->
+  let node, wv = locked_target t key in
+  match Node.delete t.lay node key with
+  | Node.Absent ->
+      release t node wv;
+      false
+  | Node.Ok ->
+      let merged_right = try_merge t node in
+      let small = 2 * Node.live_count node < merge_threshold in
+      release t node wv;
+      if (not merged_right) && small then try_merge_left t (Node.to_ptr node);
+      true
+  | Node.Full -> assert false
+
+(* Range scan (§5.4): per-node optimistic read; each node's batch is
+   validated against its version before being committed to the
+   result. *)
+let scan t key count =
+  Epoch.enter t.epoch;
+  Fun.protect ~finally:(fun () -> Epoch.exit t.epoch) @@ fun () ->
+  let acc = ref [] and taken = ref 0 in
+  let rec scan_node node low attempt =
+    if !taken >= count then ()
+    else if attempt > 10_000 then failwith "Tree: scan livelock"
+    else begin
+      let h = Node.lock_handle node in
+      let v = Vlock.begin_read h ~gen:t.gen in
+      if Node.is_deleted node then
+        (* jump to the surviving left node *)
+        scan_node (Node.of_ptr (Node.prev node)) low (attempt + 1)
+      else begin
+        let batch = ref [] and batch_n = ref 0 in
+        let budget = count - !taken in
+        let keep k value =
+          batch := (k, value) :: !batch;
+          incr batch_n;
+          !batch_n < budget
+        in
+        ignore (Node.scan_from t.lay node low ~f:keep);
+        let nxt = Node.next node in
+        if Vlock.validate h ~gen:t.gen ~version:v then begin
+          (* [batch] is newest-first; keep [acc] globally newest-first *)
+          acc := !batch @ !acc;
+          taken := !taken + !batch_n;
+          if !taken < count && not (Pptr.is_null nxt) then
+            scan_node (Node.of_ptr nxt) "" 0
+        end
+        else begin
+          t.stats.reader_retries <- t.stats.reader_retries + 1;
+          scan_node node low (attempt + 1)
+        end
+      end
+    end
+  in
+  let rec locate_retry n =
+    if n > 10_000 then failwith "Tree: scan livelock";
+    match locate t key with
+    | node -> node
+    | exception Lost ->
+        Des.Sched.delay 100e-9;
+        locate_retry (n + 1)
+  in
+  scan_node (locate_retry 0) key 0;
+  List.rev !acc
+
+(* ---------- background updater (§5.6) ---------- *)
+
+let drain_smo t =
+  let batch = ref [] in
+  while not (Queue.is_empty t.pending_refs) do
+    batch := Queue.pop t.pending_refs :: !batch
+  done;
+  let stamped =
+    List.filter_map (fun e -> Option.map (fun (ts, _) -> (ts, e)) (Smo_log.read e)) !batch
+  in
+  let sorted = List.sort (fun (a, _) (b, _) -> compare a b) stamped in
+  List.iter (fun (_, e) -> replay_entry_fast t e) sorted;
+  Epoch.try_advance t.epoch
+
+let updater_loop t =
+  t.updater_running <- true;
+  let rec loop () =
+    if Queue.is_empty t.pending_refs && not t.smo_hint then begin
+      if t.shutdown then ()
+      else begin
+        Des.Sched.Waitq.wait t.uwq;
+        loop ()
+      end
+    end
+    else begin
+      t.smo_hint <- false;
+      drain_smo t;
+      loop ()
+    end
+  in
+  loop ();
+  (* Shutdown: let the epoch machinery run the deferred frees. *)
+  Epoch.try_advance t.epoch;
+  Epoch.try_advance t.epoch;
+  Epoch.try_advance t.epoch;
+  t.updater_running <- false
+
+let request_shutdown t =
+  t.shutdown <- true;
+  match Des.Sched.self () with
+  | Some sched -> Des.Sched.Waitq.signal_all sched t.uwq
+  | None -> ()
+
+let reset_shutdown t = t.shutdown <- false
+
+let smo_backlog t = Queue.length t.pending_refs + Smo_log.active_count t.log
+
+(* ---------- recovery (§5.9) ---------- *)
+
+let recover_split t e left anchor =
+  let new_ptr = Smo_log.aux e in
+  if Pptr.is_null new_ptr then
+    (* Interrupted before allocation: nothing durable happened and the
+       triggering insert was never acknowledged. *)
+    Smo_log.clear e
+  else begin
+    let node = Node.of_ptr left in
+    let nnode = Node.of_ptr new_ptr in
+    (* The link is written only after the new node is fully persisted,
+       so a missing link means we must rebuild the new node. *)
+    if not (Pptr.equal (Node.next node) new_ptr) then begin
+      let sorted = Node.sorted_live t.lay node in
+      let move = List.filter (fun (k, _) -> Key.compare k anchor >= 0) sorted in
+      let old_next = Node.next node in
+      Node.init t.lay nnode ~gen:t.gen ~anchor ~next:old_next ~prev:left;
+      Node.copy_into t.lay ~src:node ~dst:nnode move;
+      Pool.persist nnode.Node.pool nnode.Node.off t.lay.Node.node_size;
+      Node.set_next node new_ptr;
+      persist_field node.Node.pool (node.Node.off + Node.off_next)
+    end;
+    (* Drop any moved keys still present in the left node. *)
+    let stale =
+      List.filter_map
+        (fun (k, slot) -> if Key.compare k anchor >= 0 then Some slot else None)
+        (Node.sorted_live t.lay node)
+    in
+    if stale <> [] then Node.clear_slots node stale;
+    (* Fix the right neighbour's prev pointer. *)
+    let rn = Node.next nnode in
+    if not (Pptr.is_null rn) then begin
+      let rn_node = Node.of_ptr rn in
+      if not (Pptr.equal (Node.prev rn_node) new_ptr) then begin
+        Node.set_prev rn_node new_ptr;
+        persist_field rn_node.Node.pool (rn_node.Node.off + Node.off_prev)
+      end
+    end;
+    (* Search layer. *)
+    (match Art.lookup t.art (Key.to_radix anchor) with
+    | Some p when Pptr.equal p new_ptr -> ()
+    | Some _ | None -> ignore (Art.insert t.art (Key.to_radix anchor) new_ptr));
+    Smo_log.clear e
+  end
+
+let recover_merge t e left right anchor =
+  let node = Node.of_ptr left in
+  let rn = Node.of_ptr right in
+  (* Re-copy any keys that did not make it into the left node (key
+     ranges are disjoint, so membership is the completion test). *)
+  List.iter
+    (fun (k, v) ->
+      if Node.find t.lay node k = None then
+        match Node.insert t.lay node k v with
+        | Node.Ok -> ()
+        | Node.Full | Node.Absent -> assert false)
+    (Node.live_entries t.lay rn);
+  if not (Node.is_deleted rn) then begin
+    Node.set_deleted rn true;
+    persist_field rn.Node.pool (rn.Node.off + Node.off_deleted)
+  end;
+  if Pptr.equal (Node.next node) right then begin
+    Node.set_next node (Node.next rn);
+    persist_field node.Node.pool (node.Node.off + Node.off_next)
+  end;
+  let rnn = Node.next rn in
+  if not (Pptr.is_null rnn) then begin
+    let rnn_node = Node.of_ptr rnn in
+    if Pptr.equal (Node.prev rnn_node) right then begin
+      Node.set_prev rnn_node left;
+      persist_field rnn_node.Node.pool (rnn_node.Node.off + Node.off_prev)
+    end
+  end;
+  (match Art.lookup t.art (Key.to_radix anchor) with
+  | Some p when Pptr.equal p right -> ignore (Art.delete t.art (Key.to_radix anchor))
+  | Some _ | None -> ());
+  Heap.free t.data_heap right;
+  Smo_log.clear e
+
+(* Walk the data layer, inserting every live anchor (DRAM search
+   layer rebuild). *)
+let rebuild_search_layer t =
+  let rec go ptr =
+    if not (Pptr.is_null ptr) then begin
+      let node = Node.of_ptr ptr in
+      if not (Node.is_deleted node) then
+        ignore (Art.insert t.art (Key.to_radix (Node.anchor t.lay node)) ptr);
+      go (Node.next node)
+    end
+  in
+  go (Pool.read_int t.meta off_head)
+
+let recover t =
+  (* Volatile coordination state did not survive. *)
+  Queue.clear t.pending_refs;
+  t.smo_hint <- false;
+  t.shutdown <- false;
+  t.updater_running <- false;
+  Heap.recover t.data_heap;
+  Heap.recover t.search_heap;
+  if t.cfg.search_layer_dram then begin
+    (* The whole trie was wiped with its DRAM pool. *)
+    Art.reset t.art;
+    ignore (Art.recover t.art);
+    t.gen <- Art.generation t.art;
+    rebuild_search_layer t
+  end
+  else begin
+    ignore (Art.recover t.art);
+    t.gen <- Art.generation t.art
+  end;
+  (* Replay outstanding SMOs in timestamp order. *)
+  let entries = ref [] in
+  Smo_log.iter_active t.log ~f:(fun e ->
+      match Smo_log.read e with
+      | Some (ts, payload) -> entries := (ts, e, payload) :: !entries
+      | None -> ());
+  let sorted = List.sort (fun (a, _, _) (b, _, _) -> compare a b) !entries in
+  List.iter
+    (fun (_, e, payload) ->
+      match payload with
+      | Smo_log.Split { left; anchor } -> recover_split t e left anchor
+      | Smo_log.Merge { left; right; anchor } -> recover_merge t e left right anchor)
+    sorted;
+  List.length sorted
+
+(* ---------- integrity checking (tests, §6.8) ---------- *)
+
+let check_invariants t =
+  let fail fmt = Printf.ksprintf failwith fmt in
+  (* data layer: anchors strictly increasing, prev links consistent,
+     every key within its node's range *)
+  let rec walk ptr prev_ptr last_anchor nodes =
+    if Pptr.is_null ptr then nodes
+    else begin
+      let node = Node.of_ptr ptr in
+      if Node.is_deleted node then fail "reachable node is marked deleted";
+      let anchor = Node.anchor t.lay node in
+      (match last_anchor with
+      | Some a when Key.compare a anchor >= 0 ->
+          fail "anchors not strictly increasing at %s" anchor
+      | _ -> ());
+      if not (Pptr.equal (Node.prev node) prev_ptr) then fail "prev pointer mismatch";
+      let nxt = Node.next node in
+      let upper =
+        if Pptr.is_null nxt then None else Some (Node.anchor t.lay (Node.of_ptr nxt))
+      in
+      List.iter
+        (fun (k, _) ->
+          if Key.compare k anchor < 0 then fail "key below anchor";
+          match upper with
+          | Some u when Key.compare k u >= 0 -> fail "key above next anchor"
+          | _ -> ())
+        (Node.live_entries t.lay node);
+      walk nxt ptr (Some anchor) ((anchor, ptr) :: nodes)
+    end
+  in
+  let head_ptr = Pool.read_int t.meta off_head in
+  let nodes = List.rev (walk head_ptr Pptr.null None []) in
+  (* search layer: every mapping must point to a live data node whose
+     anchor is the mapped key (after drain, it must be complete). *)
+  List.iter
+    (fun (anchor, ptr) ->
+      if smo_backlog t = 0 then
+        match Art.lookup t.art (Key.to_radix anchor) with
+        | Some p when Pptr.equal p ptr -> ()
+        | Some _ -> fail "search layer maps %s to the wrong node" anchor
+        | None -> fail "anchor %s missing from search layer" anchor)
+    nodes;
+  List.length nodes
+
+(* Enumerate everything (tests). *)
+let to_list t =
+  let rec go ptr acc =
+    if Pptr.is_null ptr then List.rev acc
+    else begin
+      let node = Node.of_ptr ptr in
+      let entries = List.sort compare (Node.live_entries t.lay node) in
+      go (Node.next node) (List.rev_append entries acc)
+    end
+  in
+  go (Pool.read_int t.meta off_head) []
+
+let cardinal t = List.length (to_list t)

@@ -1,0 +1,100 @@
+module Pool = Nvm.Pool
+
+type handle = { pool : Pool.t; off : int }
+
+let word ~gen ~version = (gen lsl 32) lor (version land 0xFFFFFFFF)
+
+let gen_of w = w lsr 32
+
+let version_of w = w land 0xFFFFFFFF
+
+(* A lock word written before the last crash carries a stale
+   generation: it reads as free with version 0.  Readers never write
+   (GA2) — crucially, even a speculative read of a location that is
+   not a lock word must stay pure; the word is re-initialised only
+   when a writer acquires it.  Stale->stale transitions are
+   impossible (only writers store words, always with the current
+   generation), so "effective version 0" is stable and optimistic
+   validation stays sound. *)
+let effective w ~gen = if gen_of w = gen then version_of w else 0
+
+let init h ~gen = Pool.write_int h.pool h.off (word ~gen ~version:0)
+
+let is_locked version = version land 1 = 1
+
+(* Bit 1 marks a node retired by a copy-on-write replacement: its
+   contents are frozen garbage-to-be.  Readers must restart rather
+   than use it; writers can never lock it again (the ART-OLC
+   "obsolete" marker).  The version counter lives in bits 2+. *)
+let obsolete_bit = 2
+
+let is_obsolete version = version land obsolete_bit <> 0
+
+let read_version h ~gen = effective (Pool.read_int h.pool h.off) ~gen
+
+(* instrumentation: total spin iterations across all locks *)
+let spins = ref 0
+
+(* Exponential backoff up to ~80us: under device saturation a lock
+   can be held across millisecond-long fences, and fine-grained
+   spinning would flood the event queue. *)
+let backoff attempt =
+  incr spins;
+  let capped = min attempt 11 in
+  Des.Sched.delay (40e-9 *. float_of_int (1 lsl capped))
+
+let debug = Sys.getenv_opt "DES_DEBUG" <> None
+
+let stuck h ~gen attempt who =
+  if debug && attempt > 0 && attempt mod 500 = 0 then
+    Printf.eprintf "[vlock] thread %d stuck in %s on %s+%d word=%#x gen=%d (%d spins)\n%!"
+      (Des.Sched.current_id ()) who (Pool.name h.pool) h.off
+      (Pool.read_int h.pool h.off) gen attempt
+
+let begin_read h ~gen =
+  let rec go attempt =
+    let v = read_version h ~gen in
+    if is_locked v then begin
+      stuck h ~gen attempt "begin_read";
+      backoff attempt;
+      go (attempt + 1)
+    end
+    else v
+  in
+  go 0
+
+let validate h ~gen ~version = read_version h ~gen = version
+
+let try_upgrade h ~gen ~version =
+  (not (is_locked version))
+  && (not (is_obsolete version))
+  &&
+  let raw = Pool.read_int h.pool h.off in
+  effective raw ~gen = version
+  &&
+  (if debug then Pmalloc.Heap.check_not_freed ~who:"try_upgrade" (Pool.id h.pool) h.off;
+   Pool.cas_int h.pool h.off ~expected:raw (word ~gen ~version:(version + 1)))
+
+let acquire h ~gen =
+  let rec go attempt =
+    let v = read_version h ~gen in
+    if (not (is_locked v)) && try_upgrade h ~gen ~version:v then v + 1
+    else begin
+      stuck h ~gen attempt "acquire";
+      backoff attempt;
+      go (attempt + 1)
+    end
+  in
+  go 0
+
+(* Unlock, bumping the counter past the lock bit (versions move in
+   steps of 4: bit 0 = locked, bit 1 = obsolete, counter above). *)
+let release h ~gen ~version =
+  assert (is_locked version);
+  Pool.write_int h.pool h.off (word ~gen ~version:(version + 3))
+
+(* Unlock and permanently retire the word: no later reader validates
+   against it and no writer can ever lock it again. *)
+let release_obsolete h ~gen ~version =
+  assert (is_locked version);
+  Pool.write_int h.pool h.off (word ~gen ~version:((version + 3) lor obsolete_bit))

@@ -1,0 +1,54 @@
+(** Optimistic persistent version lock (paper §5.7).
+
+    An 8-byte word on NVM: a generation id in the high 32 bits and a
+    version number in the low 32.  An odd version means write-locked.
+    Readers never modify the word (GA2), writers bump it on acquire
+    and release.
+
+    The generation id makes recovery O(1): the index's global
+    generation is incremented on every restart, so every lock written
+    before the crash carries a stale generation and is treated as free
+    (and lazily re-initialised) without visiting any node (§5.1). *)
+
+type handle = { pool : Nvm.Pool.t; off : int }
+
+(** Initialise an unlocked word for generation [gen]. *)
+val init : handle -> gen:int -> unit
+
+(** Current version; a stale-generation word reads as version 0
+    (free).  Pure — readers never write (GA2); the word is only
+    re-initialised when a writer acquires it.  May return an odd
+    (locked) version. *)
+val read_version : handle -> gen:int -> int
+
+val is_locked : int -> bool
+
+(** True once the node was retired by a CoW replacement; readers must
+    restart, writers can never lock it again (§ART-OLC "obsolete"). *)
+val is_obsolete : int -> bool
+
+(** Spin (with simulated backoff) until unlocked, returning an even
+    version snapshot for optimistic validation. *)
+val begin_read : handle -> gen:int -> int
+
+(** [validate h ~gen ~version] is [true] iff the word still holds
+    exactly [version] — no writer intervened. *)
+val validate : handle -> gen:int -> version:int -> bool
+
+(** Acquire the write lock (spin with backoff).  Returns the odd
+    version now held. *)
+val acquire : handle -> gen:int -> int
+
+(** [try_upgrade h ~gen ~version] atomically upgrades a reader that
+    validated [version] into the writer; [false] means a concurrent
+    writer won and the caller must restart. *)
+val try_upgrade : handle -> gen:int -> version:int -> bool
+
+(** Release the write lock taken at odd [version]. *)
+val release : handle -> gen:int -> version:int -> unit
+
+(** Release and mark the node obsolete (retired by CoW). *)
+val release_obsolete : handle -> gen:int -> version:int -> unit
+
+(** Total backoff iterations (instrumentation). *)
+val spins : int ref

@@ -1,0 +1,1 @@
+lib/pmalloc/heap.ml: Array Des Hashtbl Nvm Pptr Printexc Printf Registry Sys

@@ -1,0 +1,1 @@
+lib/pmalloc/pptr.ml: Format Int

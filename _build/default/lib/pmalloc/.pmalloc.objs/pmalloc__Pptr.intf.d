@@ -1,0 +1,1 @@
+lib/pmalloc/pptr.mli: Format

@@ -1,0 +1,1 @@
+lib/pmalloc/registry.ml: Hashtbl Nvm Pptr Printf Weak

@@ -1,0 +1,1 @@
+lib/pmalloc/registry.mli: Nvm Pptr

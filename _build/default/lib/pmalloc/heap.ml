@@ -1,0 +1,371 @@
+module Pool = Nvm.Pool
+
+type kind = Pmdk | Volatile_meta
+
+type alloc_stats = {
+  mutable allocs : int;
+  mutable frees : int;
+  mutable alloc_bytes : int;
+}
+
+(* On-pool metadata layout (Pmdk kind).  The whole undo/redo log fits
+   in one 64-byte cache line so it persists atomically in the
+   line-granularity crash model. *)
+let off_magic = 0
+
+let off_bump = 8
+
+let off_log = 64 (* state, class, block, old, dest_pool+1, dest_off *)
+
+let off_lstate = off_log
+
+let off_lclass = off_log + 8
+
+let off_lblock = off_log + 16
+
+let off_lold = off_log + 24
+
+let off_ldest_pool = off_log + 32
+
+let off_ldest_off = off_log + 40
+
+let off_heads = 128
+
+let class_sizes =
+  [|
+    16; 24; 32; 48; 64; 96; 128; 192; 256; 384; 512; 768; 1024; 1536; 2048; 3072;
+    4096; 6144; 8192;
+  |]
+
+let data_start = 384 (* past heads (128 + 19*8 = 280), 64-aligned *)
+
+let magic_value = 0x9AC7_0001
+
+let off_head cls = off_heads + (8 * cls)
+
+(* Log-state tags. *)
+let l_none = 0
+
+and l_bump = 1
+
+and l_freelist = 2
+
+and l_free = 3
+
+let class_of size =
+  let rec go i =
+    if i >= Array.length class_sizes then
+      invalid_arg (Printf.sprintf "Heap.alloc: size %d too large" size)
+    else if class_sizes.(i) >= size then i
+    else go (i + 1)
+  in
+  go 0
+
+let align_of csize = if csize >= 64 then 64 else 8
+
+let round_up x align = (x + align - 1) / align * align
+
+type pool_state = {
+  pool : Pool.t;
+  mutex : Des.Sync.Mutex.t;
+  (* Volatile_meta bookkeeping (not crash consistent, by design). *)
+  mutable vbump : int;
+  vfree : int list array;
+  vclass : (int, int) Hashtbl.t; (* offset -> size class *)
+}
+
+type t = {
+  machine : Nvm.Machine.t;
+  kind : kind;
+  pools : pool_state array;
+  stats : alloc_stats;
+}
+
+let init_pmdk_pool pool =
+  Pool.write_int pool off_magic magic_value;
+  Pool.write_int pool off_bump data_start;
+  Pool.persist pool 0 16
+
+let create machine ?(volatile_pool = false) ~kind ~name ~numa_pools ~capacity () =
+  assert (numa_pools >= 1);
+  let make_pool i =
+    let numa = i mod Nvm.Machine.numa_count machine in
+    let pool =
+      Pool.create machine ~volatile:volatile_pool
+        ~name:(Printf.sprintf "%s.%d" name i)
+        ~numa ~capacity ()
+    in
+    Registry.register pool;
+    if kind = Pmdk then init_pmdk_pool pool;
+    {
+      pool;
+      mutex = Des.Sync.Mutex.create ();
+      vbump = data_start;
+      vfree = Array.make (Array.length class_sizes) [];
+      vclass = Hashtbl.create 512;
+    }
+  in
+  {
+    machine;
+    kind;
+    pools = Array.init numa_pools make_pool;
+    stats = { allocs = 0; frees = 0; alloc_bytes = 0 };
+  }
+
+let machine t = t.machine
+
+let kind t = t.kind
+
+let stats t = t.stats
+
+let numa_pools t = Array.length t.pools
+
+let pool_by_numa t numa = t.pools.(numa mod Array.length t.pools).pool
+
+let pool _t ptr = Registry.resolve ptr
+
+let pick_pool t = function
+  | Some numa -> t.pools.(numa mod Array.length t.pools)
+  | None -> t.pools.(Des.Sched.current_numa () mod Array.length t.pools)
+
+let debug_heap = Sys.getenv_opt "DES_DEBUG" <> None
+
+(* Debug: currently-free blocks as (pool_id, class, block_off). *)
+let freed_blocks : (int * int, int) Hashtbl.t = Hashtbl.create 4096
+
+let note_freed pool_id off cls = Hashtbl.replace freed_blocks (pool_id, off) cls
+
+let note_allocated pool_id off = Hashtbl.remove freed_blocks (pool_id, off)
+
+let check_not_freed ~who pool_id off =
+  if debug_heap then
+    Hashtbl.iter
+      (fun (pid, boff) cls ->
+        if pid = pool_id && off >= boff && off < boff + class_sizes.(cls) then
+          Printf.eprintf "[heap] thread %d: %s touches FREED block (pool %d, block %d, off %d)\n%s\n%!"
+            (Des.Sched.current_id ()) who pid boff off
+            (Printexc.raw_backtrace_to_string (Printexc.get_callstack 25)))
+      freed_blocks
+
+let out_of_memory pool =
+  failwith (Printf.sprintf "Heap: pool %s exhausted" (Pool.name pool))
+
+(* Persist the destination pointer of a malloc-to allocation. *)
+let publish_dest dest block_ptr =
+  match dest with
+  | None -> ()
+  | Some (dest_pool, dest_off) ->
+      Pool.write_int dest_pool dest_off block_ptr;
+      Pool.persist dest_pool dest_off 8
+
+let pmdk_alloc ps ~dest size =
+  let p = ps.pool in
+  Des.Sync.Mutex.with_lock ps.mutex @@ fun () ->
+  let cls = class_of size in
+  let csize = class_sizes.(cls) in
+  let head = Pool.read_int p (off_head cls) in
+  (if debug_heap && head <> Pptr.null then
+     let next = Pool.read_int p (Pptr.off head) in
+     if next <> Pptr.null
+        && (Pptr.off next + 8 > Pool.capacity p || Pptr.off next land 7 <> 0
+           || Pptr.pool next <> Pool.id p)
+     then
+       failwith
+         (Printf.sprintf "Heap: freelist of %s corrupt at %d: next=%#x" (Pool.name p)
+            (Pptr.off head) next));
+  let block_off, lkind, lold =
+    if head <> Pptr.null then (Pptr.off head, l_freelist, head)
+    else begin
+      let bump = Pool.read_int p off_bump in
+      let block = round_up (bump + 8) (align_of csize) in
+      if block + csize > Pool.capacity p then out_of_memory p;
+      (block, l_bump, bump)
+    end
+  in
+  let block_ptr = Pptr.make ~pool:(Pool.id p) ~off:block_off in
+  if debug_heap then note_allocated (Pool.id p) block_off;
+  (* 1. Undo/redo log entry (one line), persisted first. *)
+  Pool.write_int p off_lclass cls;
+  Pool.write_int p off_lblock block_ptr;
+  Pool.write_int p off_lold lold;
+  (match dest with
+  | Some (dest_pool, dest_off) ->
+      Pool.write_int p off_ldest_pool (Pool.id dest_pool + 1);
+      Pool.write_int p off_ldest_off dest_off
+  | None ->
+      Pool.write_int p off_ldest_pool 0;
+      Pool.write_int p off_ldest_off 0);
+  Pool.write_int p off_lstate lkind;
+  Pool.persist p off_log 64;
+  (* 2. Metadata update + object header, persisted second. *)
+  if lkind = l_freelist then begin
+    let next = Pool.read_int p block_off in
+    Pool.write_int p (off_head cls) next;
+    Pool.clwb p (off_head cls)
+  end
+  else begin
+    Pool.write_int p off_bump (block_off + csize);
+    Pool.clwb p off_bump
+  end;
+  Pool.write_int p (block_off - 8) cls;
+  Pool.clwb p (block_off - 8);
+  Pool.fence p;
+  (* 3. malloc-to: publish the pointer (persist) before committing. *)
+  publish_dest dest block_ptr;
+  (* 4. Commit: clear the log. *)
+  Pool.write_int p off_lstate l_none;
+  Pool.persist p off_lstate 8;
+  block_ptr
+
+let pmdk_free ps ptr =
+  let p = ps.pool in
+  Des.Sync.Mutex.with_lock ps.mutex @@ fun () ->
+  let block_off = Pptr.off ptr in
+  if debug_heap then begin
+    (* double-free detection: walk the class freelist *)
+    let cls = Pool.read_int p (block_off - 8) in
+    if cls >= 0 && cls < Array.length class_sizes then begin
+      let rec walk node n =
+        if node <> Pptr.null && n < 1_000_000 then begin
+          if Pptr.off node = block_off then
+            failwith
+              (Printf.sprintf "Heap: DOUBLE FREE of %s+%d by thread %d" (Pool.name p)
+                 block_off (Des.Sched.current_id ()));
+          walk (Pool.read_int p (Pptr.off node)) (n + 1)
+        end
+      in
+      walk (Pool.read_int p (off_head cls)) 0
+    end
+  end;
+  let cls = Pool.read_int p (block_off - 8) in
+  assert (cls >= 0 && cls < Array.length class_sizes);
+  let head = Pool.read_int p (off_head cls) in
+  Pool.write_int p off_lclass cls;
+  Pool.write_int p off_lblock ptr;
+  Pool.write_int p off_lold head;
+  Pool.write_int p off_ldest_pool 0;
+  Pool.write_int p off_lstate l_free;
+  Pool.persist p off_log 64;
+  (* Persist the block's next link before publishing it as head, so a
+     crash can never expose a head with a garbage next pointer. *)
+  Pool.write_int p block_off head;
+  Pool.persist p block_off 8;
+  Pool.write_int p (off_head cls) ptr;
+  Pool.persist p (off_head cls) 8;
+  Pool.write_int p off_lstate l_none;
+  Pool.persist p off_lstate 8;
+  if debug_heap then note_freed (Pool.id p) block_off cls
+
+let volatile_alloc ps ~dest size =
+  let p = ps.pool in
+  let cls = class_of size in
+  let csize = class_sizes.(cls) in
+  let block_off =
+    match ps.vfree.(cls) with
+    | off :: rest ->
+        ps.vfree.(cls) <- rest;
+        off
+    | [] ->
+        let block = round_up (ps.vbump + 8) (align_of csize) in
+        if block + csize > Pool.capacity p then out_of_memory p;
+        ps.vbump <- block + csize;
+        block
+  in
+  Hashtbl.replace ps.vclass block_off cls;
+  let block_ptr = Pptr.make ~pool:(Pool.id p) ~off:block_off in
+  publish_dest dest block_ptr;
+  block_ptr
+
+let volatile_free ps ptr =
+  let off = Pptr.off ptr in
+  match Hashtbl.find_opt ps.vclass off with
+  | None -> invalid_arg "Heap.free: unknown block (volatile heap)"
+  | Some cls ->
+      Hashtbl.remove ps.vclass off;
+      ps.vfree.(cls) <- off :: ps.vfree.(cls)
+
+let alloc_dispatch t ~numa ~dest size =
+  let ps = pick_pool t numa in
+  let ptr =
+    match t.kind with
+    | Pmdk -> pmdk_alloc ps ~dest size
+    | Volatile_meta -> volatile_alloc ps ~dest size
+  in
+  t.stats.allocs <- t.stats.allocs + 1;
+  t.stats.alloc_bytes <- t.stats.alloc_bytes + class_sizes.(class_of size);
+  ptr
+
+let alloc t ?numa size = alloc_dispatch t ~numa ~dest:None size
+
+let alloc_to t ?numa ~size ~dest_pool ~dest_off () =
+  alloc_dispatch t ~numa ~dest:(Some (dest_pool, dest_off)) size
+
+let owner_state t ptr =
+  let pid = Pptr.pool ptr in
+  let rec go i =
+    if i >= Array.length t.pools then
+      invalid_arg "Heap.free: pointer does not belong to this heap"
+    else if Pool.id t.pools.(i).pool = pid then t.pools.(i)
+    else go (i + 1)
+  in
+  go 0
+
+let free t ptr =
+  let ps = owner_state t ptr in
+  (match t.kind with
+  | Pmdk -> pmdk_free ps ptr
+  | Volatile_meta -> volatile_free ps ptr);
+  t.stats.frees <- t.stats.frees + 1
+
+(* Post-crash log recovery (Pmdk).  The commit point of an operation
+   is clearing the log state.  A dest pointer that already holds the
+   logged block proves the operation's metadata persists (program
+   order put the metadata fence before the dest fence), so the
+   operation is complete; otherwise we roll the metadata back. *)
+let recover_pmdk_pool ps =
+  let p = ps.pool in
+  let state = Pool.read_int p off_lstate in
+  if state <> l_none then begin
+    let cls = Pool.read_int p off_lclass in
+    let block = Pool.read_int p off_lblock in
+    let old = Pool.read_int p off_lold in
+    let dest_pool = Pool.read_int p off_ldest_pool in
+    let completed =
+      dest_pool > 0
+      &&
+      let dp = Registry.find (dest_pool - 1) in
+      let doff = Pool.read_int p off_ldest_off in
+      Pool.read_int dp doff = block
+    in
+    if not completed then begin
+      if state = l_bump then Pool.write_int p off_bump old
+      else if state = l_freelist then Pool.write_int p (off_head cls) old
+      else if state = l_free then begin
+        (* Free is complete once the head points at the block. *)
+        if Pool.read_int p (off_head cls) <> block then
+          Pool.write_int p (off_head cls) old
+      end;
+      Pool.flush_range p off_bump 8;
+      Pool.flush_range p (off_head cls) 8
+    end;
+    Pool.write_int p off_lstate l_none;
+    Pool.persist p off_lstate 8
+  end
+
+let recover t =
+  match t.kind with
+  | Pmdk -> Array.iter recover_pmdk_pool t.pools
+  | Volatile_meta ->
+      (* Metadata did not survive: reset to an empty heap. *)
+      Array.iter
+        (fun ps ->
+          ps.vbump <- data_start;
+          Array.fill ps.vfree 0 (Array.length ps.vfree) [];
+          Hashtbl.reset ps.vclass)
+        t.pools
+
+let remaining t ~numa =
+  let ps = t.pools.(numa mod Array.length t.pools) in
+  match t.kind with
+  | Pmdk -> Pool.capacity ps.pool - Pool.read_int ps.pool off_bump
+  | Volatile_meta -> Pool.capacity ps.pool - ps.vbump

@@ -1,0 +1,14 @@
+(** Process-global pool registry.
+
+    Persistent pointers embed a pool id; this registry maps ids back
+    to live {!Nvm.Pool.t} values so that pointers can be dereferenced
+    across heaps (e.g. an SMO-log entry in the log heap naming a data
+    node in the data heap). *)
+
+val register : Nvm.Pool.t -> unit
+
+(** Raises [Invalid_argument] for an unknown id. *)
+val find : int -> Nvm.Pool.t
+
+(** [resolve p] is the pool of persistent pointer [p]. *)
+val resolve : Pptr.t -> Nvm.Pool.t

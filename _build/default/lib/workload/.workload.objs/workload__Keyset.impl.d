@@ -1,0 +1,1 @@
+lib/workload/keyset.ml: Format Pactree Printf

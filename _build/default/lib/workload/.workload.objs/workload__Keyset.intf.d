@@ -1,0 +1,1 @@
+lib/workload/keyset.mli: Format Pactree

@@ -1,0 +1,1 @@
+lib/workload/latency.ml: Array Des Float

@@ -1,0 +1,1 @@
+lib/workload/latency.mli: Des

@@ -1,0 +1,1 @@
+lib/workload/runner.ml: Array Baselines Des Format Int64 Latency Nvm Option Printf Ycsb

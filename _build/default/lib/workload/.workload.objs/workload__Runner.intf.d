@@ -1,0 +1,1 @@
+lib/workload/runner.mli: Baselines Format Keyset Latency Nvm Ycsb

@@ -1,0 +1,1 @@
+lib/workload/ycsb.ml: Des Format Int64 Keyset Pactree Zipf

@@ -1,0 +1,46 @@
+type t = {
+  rng : Des.Rng.t;
+  sample_rate : float;
+  mutable samples : float array;
+  mutable size : int;
+  mutable sorted : bool;
+}
+
+let create ?(sample_rate = 0.1) rng =
+  { rng; sample_rate; samples = Array.make 1024 0.0; size = 0; sorted = false }
+
+let should_sample t = t.sample_rate >= 1.0 || Des.Rng.float t.rng < t.sample_rate
+
+let record t latency =
+  if t.size = Array.length t.samples then begin
+    let bigger = Array.make (2 * t.size) 0.0 in
+    Array.blit t.samples 0 bigger 0 t.size;
+    t.samples <- bigger
+  end;
+  t.samples.(t.size) <- latency;
+  t.size <- t.size + 1;
+  t.sorted <- false
+
+let count t = t.size
+
+let ensure_sorted t =
+  if not t.sorted then begin
+    let live = Array.sub t.samples 0 t.size in
+    Array.sort compare live;
+    Array.blit live 0 t.samples 0 t.size;
+    t.sorted <- true
+  end
+
+let percentile t p =
+  assert (p >= 0.0 && p <= 100.0);
+  if t.size = 0 then 0.0
+  else begin
+    ensure_sorted t;
+    let idx = int_of_float (Float.of_int (t.size - 1) *. p /. 100.0) in
+    t.samples.(idx)
+  end
+
+let merge ~dst ~src =
+  for i = 0 to src.size - 1 do
+    record dst src.samples.(i)
+  done

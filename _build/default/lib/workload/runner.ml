@@ -1,0 +1,109 @@
+module Index = Baselines.Index_intf
+
+type result = {
+  mix : Ycsb.mix;
+  threads : int;
+  ops : int;
+  elapsed : float;
+  throughput : float;
+  latency : Latency.t;
+  nvm : Nvm.Stats.t;
+}
+
+type service = { body : unit -> unit; shutdown : unit -> unit }
+
+let apply_op index op =
+  match op with
+  | Ycsb.Lookup k -> ignore (Index.lookup index k)
+  | Ycsb.Upsert (k, v) -> Index.insert index k v
+  | Ycsb.Insert_new (k, v) -> Index.insert index k v
+  | Ycsb.Scan (k, n) -> ignore (Index.scan index k n)
+
+(* Run one phase: [threads] workers each executing [per_thread] ops of
+   [mix]; returns (end_time, merged latency recorder).  [start] keeps
+   simulated time monotonic across phases on the same machine (device
+   channel bookings are absolute times). *)
+let phase ~machine ~index ~service ~mix ~kind ~loaded ~theta ~seed ~threads ~total_ops
+    ~start =
+  let numa_count = Nvm.Machine.numa_count machine in
+  let sched = Des.Sched.create ~start () in
+  (match service with
+  | Some s -> Des.Sched.spawn sched ~name:"service" (fun () -> s.body ())
+  | None -> ());
+  let recorders = Array.init threads (fun i -> Latency.create (Des.Rng.create ~seed:(Int64.of_int (i + 33)))) in
+  let live = ref threads in
+  let profile = Nvm.Machine.profile machine in
+  for i = 0 to threads - 1 do
+    let per_thread = (total_ops / threads) + if i < total_ops mod threads then 1 else 0 in
+    Des.Sched.spawn sched
+      ~numa:(i mod numa_count)
+      ~name:(Printf.sprintf "worker%d" i)
+      (fun () ->
+        let stream = Ycsb.create ~mix ~kind ~loaded ~theta ~seed ~thread:i ~threads in
+        let recorder = recorders.(i) in
+        for _ = 1 to per_thread do
+          let op = Ycsb.next stream in
+          Des.Sched.charge profile.Nvm.Config.op_overhead;
+          if Latency.should_sample recorder then begin
+            let start = Des.Sched.now sched in
+            apply_op index op;
+            (* make sure accumulated charges land in the clock *)
+            Des.Sched.delay 0.0;
+            Latency.record recorder (Des.Sched.now sched -. start)
+          end
+          else apply_op index op
+        done;
+        Des.Sched.delay 0.0 (* materialise accumulated charges *);
+        decr live;
+        if !live = 0 then match service with Some s -> s.shutdown () | None -> ())
+  done;
+  Des.Sched.run sched;
+  let merged = Latency.create (Des.Rng.create ~seed:1L) in
+  Array.iter (fun r -> Latency.merge ~dst:merged ~src:r) recorders;
+  (Des.Sched.now sched, merged)
+
+let load ~machine ~index ?service ~kind ~loaded ~threads ?(seed = 42L) () =
+  let end_time, _ =
+    phase ~machine ~index ~service ~mix:Ycsb.Load_a ~kind ~loaded:0 ~theta:0.0 ~seed
+      ~threads ~total_ops:loaded ~start:0.0
+  in
+  end_time
+
+let run ~machine ~index ?service ~mix ~kind ~loaded ~ops ~threads ?load_threads
+    ?(theta = 0.99) ?(seed = 42L) ?(skip_load = false) () =
+  let load_threads = Option.value ~default:threads load_threads in
+  let start =
+    if (not skip_load) && mix <> Ycsb.Load_a then
+      load ~machine ~index ?service ~kind ~loaded ~threads:load_threads ~seed ()
+    else 0.0
+  in
+  let before = Nvm.Stats.snapshot (Nvm.Machine.total_stats machine) in
+  let end_time, latency =
+    match mix with
+    | Ycsb.Load_a ->
+        (* the load phase is the measurement *)
+        phase ~machine ~index ~service ~mix ~kind ~loaded:0 ~theta:0.0 ~seed ~threads
+          ~total_ops:ops ~start
+    | _ ->
+        phase ~machine ~index ~service ~mix ~kind ~loaded ~theta ~seed ~threads
+          ~total_ops:ops ~start
+  in
+  let elapsed = end_time -. start in
+  let nvm = Nvm.Stats.diff (Nvm.Machine.total_stats machine) before in
+  {
+    mix;
+    threads;
+    ops;
+    elapsed;
+    throughput = (if elapsed > 0.0 then float_of_int ops /. elapsed else 0.0);
+    latency;
+    nvm;
+  }
+
+let mops r = r.throughput /. 1e6
+
+let pp_result ppf r =
+  Format.fprintf ppf "%a %2d thr: %6.2f Mops/s (p99 %.1fus, %d samples)" Ycsb.pp_mix
+    r.mix r.threads (mops r)
+    (Latency.percentile r.latency 99.0 *. 1e6)
+    (Latency.count r.latency)

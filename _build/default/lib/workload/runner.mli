@@ -1,0 +1,58 @@
+(** Multi-threaded benchmark runner over the discrete-event simulator.
+
+    Loads an index with [loaded] keys (parallel inserts), then runs
+    [ops] operations across [threads] simulated threads spread round-
+    robin over the machine's NUMA domains.  Simulated elapsed time of
+    the run phase yields throughput; 10% latency sampling yields
+    percentiles; NVM counters are diffed around the run phase. *)
+
+type result = {
+  mix : Ycsb.mix;
+  threads : int;
+  ops : int;
+  elapsed : float;  (** simulated seconds of the run phase *)
+  throughput : float;  (** operations per simulated second *)
+  latency : Latency.t;  (** merged samples (10%) *)
+  nvm : Nvm.Stats.t;  (** device+machine traffic during the run *)
+}
+
+(** Optional background service (e.g. PACTree's updater): [body] is
+    spawned before the workers, [shutdown] is invoked once all workers
+    finish. *)
+type service = { body : unit -> unit; shutdown : unit -> unit }
+
+(** [run ~machine ~index ~mix ~kind ~loaded ~ops ~threads ()] executes
+    load + run phases.  [theta] defaults to YCSB's 0.99 Zipfian; pass
+    [0.] for uniform.  [skip_load] reuses an already-loaded index
+    (read-only mixes only).  [load_threads] defaults to [threads]. *)
+val run :
+  machine:Nvm.Machine.t ->
+  index:Baselines.Index_intf.index ->
+  ?service:service ->
+  mix:Ycsb.mix ->
+  kind:Keyset.kind ->
+  loaded:int ->
+  ops:int ->
+  threads:int ->
+  ?load_threads:int ->
+  ?theta:float ->
+  ?seed:int64 ->
+  ?skip_load:bool ->
+  unit ->
+  result
+
+(** Load only (returns elapsed simulated seconds). *)
+val load :
+  machine:Nvm.Machine.t ->
+  index:Baselines.Index_intf.index ->
+  ?service:service ->
+  kind:Keyset.kind ->
+  loaded:int ->
+  threads:int ->
+  ?seed:int64 ->
+  unit ->
+  float
+
+val mops : result -> float
+
+val pp_result : Format.formatter -> result -> unit

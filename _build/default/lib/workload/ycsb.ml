@@ -1,0 +1,98 @@
+type mix =
+  | Load_a
+  | Workload_a
+  | Workload_b
+  | Workload_c
+  | Workload_e
+  | Skew_update (* Fig 15: 50% lookup + 50% update of existing keys *)
+  | Skew_insert (* Fig 15: 50% lookup + 50% insert of new keys *)
+
+type op =
+  | Lookup of Pactree.Key.t
+  | Upsert of Pactree.Key.t * int
+  | Insert_new of Pactree.Key.t * int
+  | Scan of Pactree.Key.t * int
+
+type t = {
+  mix : mix;
+  kind : Keyset.kind;
+  rng : Des.Rng.t;
+  zipf : Zipf.t;
+  mutable load_cursor : int; (* Load_a: next index to insert *)
+  mutable fresh_cursor : int; (* Workload_e: next fresh index *)
+  threads : int;
+}
+
+let create ~mix ~kind ~loaded ~theta ~seed ~thread ~threads =
+  let rng = Des.Rng.create ~seed:(Int64.add seed (Int64.of_int (thread * 7919))) in
+  let zipf = Zipf.create ~n:(max 1 loaded) ~theta (Des.Rng.split rng) in
+  {
+    mix;
+    kind;
+    rng;
+    zipf;
+    load_cursor = thread;
+    fresh_cursor = loaded + thread;
+    threads;
+  }
+
+let hot_key t = Keyset.key t.kind (Zipf.next t.zipf)
+
+let fresh_key t =
+  let i = t.fresh_cursor in
+  t.fresh_cursor <- t.fresh_cursor + t.threads;
+  Keyset.key t.kind i
+
+let value_of t = Des.Rng.int t.rng 1_000_000
+
+(* YCSB scan lengths: uniform in [1, 100]. *)
+let scan_len t = 1 + Des.Rng.int t.rng 100
+
+let next t =
+  match t.mix with
+  | Load_a ->
+      let i = t.load_cursor in
+      t.load_cursor <- t.load_cursor + t.threads;
+      Insert_new (Keyset.key t.kind i, value_of t)
+  (* Paper 6: "we replace the update operation to insert operation
+     similar to the previous work" — A and B's writes insert fresh
+     keys, exercising node growth and SMOs. *)
+  | Workload_a ->
+      if Des.Rng.int t.rng 100 < 50 then Lookup (hot_key t)
+      else Insert_new (fresh_key t, value_of t)
+  | Workload_b ->
+      if Des.Rng.int t.rng 100 < 95 then Lookup (hot_key t)
+      else Insert_new (fresh_key t, value_of t)
+  | Workload_c -> Lookup (hot_key t)
+  | Workload_e ->
+      if Des.Rng.int t.rng 100 < 95 then Scan (hot_key t, scan_len t)
+      else Insert_new (fresh_key t, value_of t)
+  | Skew_update ->
+      if Des.Rng.int t.rng 100 < 50 then Lookup (hot_key t)
+      else Upsert (hot_key t, value_of t)
+  | Skew_insert ->
+      if Des.Rng.int t.rng 100 < 50 then Lookup (hot_key t)
+      else Insert_new (fresh_key t, value_of t)
+
+let pp_mix ppf mix =
+  Format.pp_print_string ppf
+    (match mix with
+    | Load_a -> "L-A"
+    | Workload_a -> "W-A"
+    | Workload_b -> "W-B"
+    | Workload_c -> "W-C"
+    | Workload_e -> "W-E"
+    | Skew_update -> "50L/50U"
+    | Skew_insert -> "50L/50I")
+
+let mix_of_string = function
+  | "L-A" | "la" | "load-a" -> Some Load_a
+  | "W-A" | "a" -> Some Workload_a
+  | "W-B" | "b" -> Some Workload_b
+  | "W-C" | "c" -> Some Workload_c
+  | "W-E" | "e" -> Some Workload_e
+  | "skew-update" -> Some Skew_update
+  | "skew-insert" -> Some Skew_insert
+  | _ -> None
+
+let all_mixes = [ Load_a; Workload_a; Workload_b; Workload_c; Workload_e ]

@@ -1,0 +1,48 @@
+(** YCSB workload definitions as used by the paper's index-microbench
+    (§6): Load A plus run-phase workloads A, B, C, E, with uniform or
+    Zipfian request distributions over integer or string keys.
+
+    Note (paper §6): indexes without a native update are driven with
+    insert in place of update; our upsert-style [insert] matches
+    that, so workload A/B write operations are upserts of existing
+    keys and workload E inserts fresh keys. *)
+
+type mix =
+  | Load_a  (** 100% insert (the load phase itself) *)
+  | Workload_a  (** 50% lookup, 50% insert of new keys (paper 6) *)
+  | Workload_b  (** 95% lookup, 5% insert of new keys *)
+  | Workload_c  (** 100% lookup *)
+  | Workload_e  (** 95% short scan, 5% insert of new keys *)
+  | Skew_update  (** Fig 15: 50% lookup, 50% update of existing keys *)
+  | Skew_insert  (** Fig 15: 50% lookup, 50% insert of new keys *)
+
+type op =
+  | Lookup of Pactree.Key.t
+  | Upsert of Pactree.Key.t * int
+  | Insert_new of Pactree.Key.t * int
+  | Scan of Pactree.Key.t * int
+
+type t
+
+(** [create ~mix ~kind ~loaded ~theta ~seed ~thread] builds a
+    per-thread deterministic op stream.  [loaded] is the number of
+    pre-loaded keys; [theta = 0.] selects the uniform distribution.
+    New keys inserted by workload E are drawn from indexes past
+    [loaded], partitioned by thread so streams never collide. *)
+val create :
+  mix:mix ->
+  kind:Keyset.kind ->
+  loaded:int ->
+  theta:float ->
+  seed:int64 ->
+  thread:int ->
+  threads:int ->
+  t
+
+val next : t -> op
+
+val pp_mix : Format.formatter -> mix -> unit
+
+val mix_of_string : string -> mix option
+
+val all_mixes : mix list

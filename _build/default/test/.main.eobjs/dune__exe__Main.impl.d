@@ -1,0 +1,1 @@
+test/main.ml: Alcotest Test_art Test_baselines Test_crash_torture Test_data_node Test_des Test_eadr Test_nvm Test_pmalloc Test_tree Test_workload

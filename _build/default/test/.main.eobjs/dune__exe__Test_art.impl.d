@@ -1,0 +1,1 @@
+test/test_art.ml: Alcotest Array Des Hashtbl Int64 List Nvm Option Pactree Pmalloc Printf QCheck QCheck_alcotest String

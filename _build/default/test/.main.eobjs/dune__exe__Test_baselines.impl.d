@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Baselines Des Hashtbl List Nvm Pactree Pmalloc Printf

@@ -1,0 +1,1 @@
+test/test_crash_torture.ml: Alcotest Des Int64 List Nvm Pactree Pmalloc

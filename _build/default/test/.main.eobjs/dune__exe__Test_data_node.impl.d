@@ -1,0 +1,1 @@
+test/test_data_node.ml: Alcotest Array Des Hashtbl List Nvm Pactree Pmalloc Printf QCheck QCheck_alcotest

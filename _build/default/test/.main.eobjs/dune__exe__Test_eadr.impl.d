@@ -1,0 +1,1 @@
+test/test_eadr.ml: Alcotest Baselines Experiments Nvm Pactree Printf Workload

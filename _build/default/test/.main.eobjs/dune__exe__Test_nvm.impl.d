@@ -1,0 +1,1 @@
+test/test_nvm.ml: Alcotest Des Int64 Nvm Option Printf

@@ -1,0 +1,1 @@
+test/test_pmalloc.ml: Alcotest Array Des List Nvm Pmalloc Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_tree.ml: Alcotest Array Des Hashtbl Int64 List Nvm Pactree Pmalloc Printf QCheck QCheck_alcotest

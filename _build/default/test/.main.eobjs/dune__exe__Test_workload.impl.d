@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Baselines Des Hashtbl List Nvm Pactree Printf String Workload

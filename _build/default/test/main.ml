@@ -1,0 +1,14 @@
+let () =
+  Alcotest.run "pactree"
+    [
+      ("des", Test_des.suite);
+      ("nvm", Test_nvm.suite);
+      ("pmalloc", Test_pmalloc.suite);
+      ("art", Test_art.suite);
+      ("data_node", Test_data_node.suite);
+      ("crash_torture", Test_crash_torture.suite);
+      ("eadr", Test_eadr.suite);
+      ("tree", Test_tree.suite);
+      ("baselines", Test_baselines.suite);
+      ("workload", Test_workload.suite);
+    ]

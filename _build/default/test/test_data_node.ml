@@ -1,0 +1,326 @@
+(* Direct tests of the slotted data node (paper Fig 8, §5.5) and of
+   the per-thread SMO log and epoch manager. *)
+
+module Machine = Nvm.Machine
+module Pool = Nvm.Pool
+module Heap = Pmalloc.Heap
+module Node = Pactree.Data_node
+module Key = Pactree.Key
+module Vlock = Pactree.Vlock
+
+let gen = 1
+
+let make_node ?(key_inline = 8) ?(persist_perm = false) () =
+  let machine = Machine.create ~numa_count:1 () in
+  let lay = Node.layout ~persist_perm ~key_inline () in
+  let pool = Pool.create machine ~name:"node" ~numa:0 ~capacity:(1 lsl 16) () in
+  Pmalloc.Registry.register pool;
+  let node = { Node.pool; off = 256 } in
+  Node.init lay node ~gen ~anchor:"" ~next:Pmalloc.Pptr.null ~prev:Pmalloc.Pptr.null;
+  (machine, lay, node)
+
+let ik = Key.of_int
+
+let test_insert_find () =
+  let _, lay, node = make_node () in
+  Alcotest.(check bool) "insert" true (Node.insert lay node (ik 5) 50 = Node.Ok);
+  Alcotest.(check bool) "insert" true (Node.insert lay node (ik 9) 90 = Node.Ok);
+  (match Node.find lay node (ik 5) with
+  | Some (_, v) -> Alcotest.(check int) "found value" 50 v
+  | None -> Alcotest.fail "missing");
+  Alcotest.(check bool) "absent" true (Node.find lay node (ik 7) = None);
+  Alcotest.(check int) "live count" 2 (Node.live_count node)
+
+let test_node_fills_at_64 () =
+  let _, lay, node = make_node () in
+  for i = 0 to Node.entries - 1 do
+    Alcotest.(check bool) (Printf.sprintf "insert %d" i) true
+      (Node.insert lay node (ik i) i = Node.Ok)
+  done;
+  Alcotest.(check bool) "65th insert is Full" true
+    (Node.insert lay node (ik 1000) 0 = Node.Full)
+
+let test_delete_and_slot_reuse () =
+  let _, lay, node = make_node () in
+  for i = 0 to 63 do
+    ignore (Node.insert lay node (ik i) i)
+  done;
+  Alcotest.(check bool) "delete" true (Node.delete lay node (ik 3) = Node.Ok);
+  Alcotest.(check bool) "delete absent" true (Node.delete lay node (ik 3) = Node.Absent);
+  Alcotest.(check bool) "slot freed, insert fits" true
+    (Node.insert lay node (ik 1000) 1 = Node.Ok)
+
+let test_update_out_of_place () =
+  let _, lay, node = make_node () in
+  ignore (Node.insert lay node (ik 1) 10);
+  Alcotest.(check bool) "update" true (Node.update lay node (ik 1) 11 = Node.Ok);
+  (match Node.find lay node (ik 1) with
+  | Some (_, v) -> Alcotest.(check int) "new value" 11 v
+  | None -> Alcotest.fail "missing");
+  Alcotest.(check int) "still one live entry" 1 (Node.live_count node);
+  Alcotest.(check bool) "update absent" true (Node.update lay node (ik 2) 0 = Node.Absent)
+
+let test_update_in_place_when_full () =
+  let _, lay, node = make_node () in
+  for i = 0 to 63 do
+    ignore (Node.insert lay node (ik i) i)
+  done;
+  Alcotest.(check bool) "update works on full node" true
+    (Node.update lay node (ik 7) 700 = Node.Ok);
+  match Node.find lay node (ik 7) with
+  | Some (_, v) -> Alcotest.(check int) "updated" 700 v
+  | None -> Alcotest.fail "missing"
+
+let test_insert_crash_before_bitmap_invisible () =
+  (* The bitmap is the linearization point: a crash after the kv
+     persist but before the bitmap persist must hide the key. *)
+  let machine, lay, node = make_node () in
+  ignore (Node.insert lay node (ik 1) 10);
+  (* hand-run the first half of the insert protocol for a second key *)
+  Machine.crash machine Machine.Strict;
+  (* key 1 was fully inserted pre-crash: bitmap persisted *)
+  Alcotest.(check bool) "persisted key visible" true (Node.find lay node (ik 1) <> None);
+  Alcotest.(check int) "live count" 1 (Node.live_count node)
+
+let test_scan_from_sorted () =
+  let _, lay, node = make_node () in
+  (* insert out of order *)
+  List.iter (fun i -> ignore (Node.insert lay node (ik i) i)) [ 9; 3; 7; 1; 5 ];
+  let acc = ref [] in
+  ignore (Node.scan_from lay node (ik 3) ~f:(fun k v ->
+      acc := (Key.to_int k, v) :: !acc;
+      true));
+  Alcotest.(check (list (pair int int))) "sorted from 3"
+    [ (3, 3); (5, 5); (7, 7); (9, 9) ]
+    (List.rev !acc)
+
+let test_permutation_cache_invalidation () =
+  let _, lay, node = make_node () in
+  List.iter (fun i -> ignore (Node.insert lay node (ik i) i)) [ 2; 1 ];
+  Alcotest.(check int) "refresh" 2 (Node.refresh_permutation lay node);
+  (* a write bumps the version; the permutation must rebuild *)
+  let h = Node.lock_handle node in
+  let wv = Vlock.acquire h ~gen in
+  ignore (Node.insert lay node (ik 0) 0);
+  Vlock.release h ~gen ~version:wv;
+  let acc = ref [] in
+  ignore (Node.scan_from lay node (ik 0) ~f:(fun k _ ->
+      acc := Key.to_int k :: !acc;
+      true));
+  Alcotest.(check (list int)) "rebuilt order" [ 0; 1; 2 ] (List.rev !acc)
+
+let test_string_layout () =
+  let _, lay, node = make_node ~key_inline:32 () in
+  let keys = [ "alpha"; "beta"; "a-much-longer-key-string!"; "z" ] in
+  List.iteri (fun i k -> ignore (Node.insert lay node (Key.of_string k) i)) keys;
+  List.iteri
+    (fun i k ->
+      match Node.find lay node (Key.of_string k) with
+      | Some (_, v) -> Alcotest.(check int) k i v
+      | None -> Alcotest.failf "missing %s" k)
+    keys;
+  let sorted = Node.sorted_live lay node in
+  Alcotest.(check (list string)) "sorted"
+    (List.sort compare keys)
+    (List.map fst sorted)
+
+let test_anchor_compare () =
+  let machine = Machine.create ~numa_count:1 () in
+  let lay = Node.layout ~key_inline:32 () in
+  let pool = Pool.create machine ~name:"anchor" ~numa:0 ~capacity:(1 lsl 16) () in
+  Pmalloc.Registry.register pool;
+  let node = { Node.pool; off = 256 } in
+  Node.init lay node ~gen ~anchor:"mmm" ~next:Pmalloc.Pptr.null ~prev:Pmalloc.Pptr.null;
+  Alcotest.(check string) "anchor" "mmm" (Node.anchor lay node);
+  Alcotest.(check bool) "less" true (Node.compare_anchor node "zzz" < 0);
+  Alcotest.(check bool) "greater" true (Node.compare_anchor node "aaa" > 0);
+  Alcotest.(check int) "equal" 0 (Node.compare_anchor node "mmm")
+
+let test_qcheck_node_model =
+  QCheck.Test.make ~name:"data node: agrees with a map model" ~count:100
+    QCheck.(list (pair (int_bound 100) (int_bound 3)))
+    (fun ops ->
+      let _, lay, node = make_node () in
+      let model = Hashtbl.create 16 in
+      List.iter
+        (fun (k, op) ->
+          let key = ik k in
+          match op with
+          | 0 | 1 ->
+              if Hashtbl.mem model k then begin
+                ignore (Node.update lay node key (k * 2));
+                Hashtbl.replace model k (k * 2)
+              end
+              else if Node.insert lay node key k = Node.Ok then Hashtbl.replace model k k
+          | 2 ->
+              ignore (Node.delete lay node key);
+              Hashtbl.remove model k
+          | _ -> ())
+        ops;
+      Hashtbl.fold
+        (fun k v ok ->
+          ok
+          && match Node.find lay node (ik k) with Some (_, v') -> v' = v | None -> false)
+        model
+        (Node.live_count node = Hashtbl.length model))
+
+(* ---------- SMO log ---------- *)
+
+let make_log () =
+  let machine = Machine.create ~numa_count:2 () in
+  let pools =
+    Array.init 2 (fun i ->
+        let p =
+          Pool.create machine
+            ~name:(Printf.sprintf "log%d" i)
+            ~numa:i
+            ~capacity:Pactree.Smo_log.region_size ()
+        in
+        Pmalloc.Registry.register p;
+        p)
+  in
+  (machine, Pactree.Smo_log.create pools ~base:0)
+
+let test_smo_log_roundtrip () =
+  let _, log = make_log () in
+  let e =
+    Pactree.Smo_log.append log ~ts:7
+      (Pactree.Smo_log.Split { left = Pmalloc.Pptr.make ~pool:3 ~off:512; anchor = "ab" })
+  in
+  (match Pactree.Smo_log.read e with
+  | Some (7, Pactree.Smo_log.Split { left; anchor }) ->
+      Alcotest.(check int) "left off" 512 (Pmalloc.Pptr.off left);
+      Alcotest.(check string) "anchor" "ab" anchor
+  | _ -> Alcotest.fail "bad decode");
+  Alcotest.(check int) "active" 1 (Pactree.Smo_log.active_count log);
+  Pactree.Smo_log.clear e;
+  Alcotest.(check int) "cleared" 0 (Pactree.Smo_log.active_count log);
+  Alcotest.(check bool) "read after clear" true (Pactree.Smo_log.read e = None)
+
+let test_smo_log_merge_entry () =
+  let _, log = make_log () in
+  let left = Pmalloc.Pptr.make ~pool:1 ~off:256 in
+  let right = Pmalloc.Pptr.make ~pool:1 ~off:1024 in
+  let e = Pactree.Smo_log.append log ~ts:9 (Pactree.Smo_log.Merge { left; right; anchor = "k" }) in
+  (match Pactree.Smo_log.read e with
+  | Some (9, Pactree.Smo_log.Merge m) ->
+      Alcotest.(check bool) "left" true (Pmalloc.Pptr.equal m.left left);
+      Alcotest.(check bool) "right" true (Pmalloc.Pptr.equal m.right right)
+  | _ -> Alcotest.fail "bad decode");
+  Alcotest.(check bool) "aux = right" true (Pmalloc.Pptr.equal (Pactree.Smo_log.aux e) right)
+
+let test_smo_log_survives_crash () =
+  let machine, log = make_log () in
+  let e =
+    Pactree.Smo_log.append log ~ts:1
+      (Pactree.Smo_log.Split { left = Pmalloc.Pptr.make ~pool:2 ~off:256; anchor = "x" })
+  in
+  ignore e;
+  Machine.crash machine Machine.Strict;
+  Alcotest.(check int) "entry survives crash" 1 (Pactree.Smo_log.active_count log)
+
+let test_smo_log_iter_active () =
+  let _, log = make_log () in
+  for i = 1 to 5 do
+    ignore
+      (Pactree.Smo_log.append log ~ts:i
+         (Pactree.Smo_log.Split { left = Pmalloc.Pptr.make ~pool:2 ~off:(i * 256); anchor = "k" }))
+  done;
+  let seen = ref [] in
+  Pactree.Smo_log.iter_active log ~f:(fun e ->
+      match Pactree.Smo_log.read e with
+      | Some (ts, _) -> seen := ts :: !seen
+      | None -> ());
+  Alcotest.(check (list int)) "all entries" [ 1; 2; 3; 4; 5 ] (List.sort compare !seen)
+
+(* ---------- epochs ---------- *)
+
+let test_epoch_two_epoch_rule () =
+  let e = Pactree.Epoch.create () in
+  let sched = Des.Sched.create () in
+  let freed = ref false in
+  Des.Sched.spawn sched ~name:"t" (fun () ->
+      Pactree.Epoch.enter e;
+      Pactree.Epoch.defer e (fun () -> freed := true);
+      (* while the deferring operation is still active, at most one
+         epoch can pass — the action must not run *)
+      Pactree.Epoch.try_advance e;
+      Pactree.Epoch.try_advance e;
+      Pactree.Epoch.try_advance e;
+      Alcotest.(check bool) "not freed while op active" false !freed;
+      Pactree.Epoch.exit e;
+      Pactree.Epoch.try_advance e;
+      Pactree.Epoch.try_advance e;
+      Alcotest.(check bool) "freed after exit + two advances" true !freed);
+  Des.Sched.run sched
+
+let test_epoch_blocked_by_active_reader () =
+  let e = Pactree.Epoch.create () in
+  let sched = Des.Sched.create () in
+  let freed = ref false in
+  Des.Sched.spawn sched ~name:"reader" (fun () ->
+      Pactree.Epoch.enter e;
+      Des.Sched.delay 1.0;
+      Pactree.Epoch.exit e);
+  Des.Sched.spawn sched ~name:"writer" (fun () ->
+      Des.Sched.delay 0.1;
+      Pactree.Epoch.enter e;
+      Pactree.Epoch.defer e (fun () -> freed := true);
+      Pactree.Epoch.exit e;
+      (* reader still active in an old epoch: cannot free yet *)
+      Pactree.Epoch.try_advance e;
+      Pactree.Epoch.try_advance e;
+      Alcotest.(check bool) "blocked by reader" false !freed);
+  Des.Sched.run sched;
+  Pactree.Epoch.try_advance e;
+  Pactree.Epoch.try_advance e;
+  Alcotest.(check bool) "freed after reader exits" true !freed
+
+let test_epoch_reentrancy () =
+  let e = Pactree.Epoch.create () in
+  Pactree.Epoch.enter e;
+  Pactree.Epoch.enter e;
+  Pactree.Epoch.exit e;
+  Pactree.Epoch.exit e;
+  Alcotest.(check int) "no pending" 0 (Pactree.Epoch.pending e)
+
+let test_epoch_unpin_while () =
+  let e = Pactree.Epoch.create () in
+  let sched = Des.Sched.create () in
+  Des.Sched.spawn sched ~name:"t" (fun () ->
+      Pactree.Epoch.enter e;
+      let before = Pactree.Epoch.current e in
+      Pactree.Epoch.unpin_while e (fun () ->
+          Pactree.Epoch.try_advance e;
+          Pactree.Epoch.try_advance e);
+      Alcotest.(check bool) "advanced past our pin" true
+        (Pactree.Epoch.current e >= before + 2);
+      Pactree.Epoch.exit e);
+  Des.Sched.run sched
+
+let suite =
+  [
+    Alcotest.test_case "node: insert/find" `Quick test_insert_find;
+    Alcotest.test_case "node: fills at 64" `Quick test_node_fills_at_64;
+    Alcotest.test_case "node: delete + slot reuse" `Quick test_delete_and_slot_reuse;
+    Alcotest.test_case "node: update out-of-place" `Quick test_update_out_of_place;
+    Alcotest.test_case "node: update in-place when full" `Quick
+      test_update_in_place_when_full;
+    Alcotest.test_case "node: bitmap is linearization point" `Quick
+      test_insert_crash_before_bitmap_invisible;
+    Alcotest.test_case "node: scan_from sorted" `Quick test_scan_from_sorted;
+    Alcotest.test_case "node: permutation invalidation" `Quick
+      test_permutation_cache_invalidation;
+    Alcotest.test_case "node: string layout" `Quick test_string_layout;
+    Alcotest.test_case "node: anchor compare" `Quick test_anchor_compare;
+    QCheck_alcotest.to_alcotest test_qcheck_node_model;
+    Alcotest.test_case "smo log: roundtrip" `Quick test_smo_log_roundtrip;
+    Alcotest.test_case "smo log: merge entry" `Quick test_smo_log_merge_entry;
+    Alcotest.test_case "smo log: survives crash" `Quick test_smo_log_survives_crash;
+    Alcotest.test_case "smo log: iter_active" `Quick test_smo_log_iter_active;
+    Alcotest.test_case "epoch: two-epoch rule" `Quick test_epoch_two_epoch_rule;
+    Alcotest.test_case "epoch: blocked by active reader" `Quick
+      test_epoch_blocked_by_active_reader;
+    Alcotest.test_case "epoch: reentrancy" `Quick test_epoch_reentrancy;
+    Alcotest.test_case "epoch: unpin_while" `Quick test_epoch_unpin_while;
+  ]

@@ -1,0 +1,211 @@
+(* Tests for the discrete-event scheduler substrate. *)
+
+let test_event_queue_order () =
+  let q = Des.Event_queue.create () in
+  Des.Event_queue.add q ~time:3.0 "c";
+  Des.Event_queue.add q ~time:1.0 "a";
+  Des.Event_queue.add q ~time:2.0 "b";
+  Alcotest.(check (pair (float 0.0) string)) "min" (1.0, "a") (Des.Event_queue.pop_min q);
+  Alcotest.(check (pair (float 0.0) string)) "next" (2.0, "b") (Des.Event_queue.pop_min q);
+  Alcotest.(check (pair (float 0.0) string)) "last" (3.0, "c") (Des.Event_queue.pop_min q);
+  Alcotest.(check bool) "empty" true (Des.Event_queue.is_empty q)
+
+let test_event_queue_fifo_ties () =
+  let q = Des.Event_queue.create () in
+  Des.Event_queue.add q ~time:1.0 "first";
+  Des.Event_queue.add q ~time:1.0 "second";
+  Des.Event_queue.add q ~time:1.0 "third";
+  let order = List.init 3 (fun _ -> snd (Des.Event_queue.pop_min q)) in
+  Alcotest.(check (list string)) "fifo" [ "first"; "second"; "third" ] order
+
+let test_event_queue_many () =
+  let q = Des.Event_queue.create () in
+  let rng = Des.Rng.create ~seed:42L in
+  for i = 0 to 999 do
+    Des.Event_queue.add q ~time:(Des.Rng.float rng) i
+  done;
+  Alcotest.(check int) "length" 1000 (Des.Event_queue.length q);
+  let prev = ref neg_infinity in
+  for _ = 1 to 1000 do
+    let t, _ = Des.Event_queue.pop_min q in
+    Alcotest.(check bool) "sorted" true (t >= !prev);
+    prev := t
+  done
+
+let test_rng_deterministic () =
+  let a = Des.Rng.create ~seed:7L and b = Des.Rng.create ~seed:7L in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Des.Rng.next a) (Des.Rng.next b)
+  done
+
+let test_rng_split_independent () =
+  let a = Des.Rng.create ~seed:7L in
+  let child = Des.Rng.split a in
+  let x = Des.Rng.next child and y = Des.Rng.next a in
+  Alcotest.(check bool) "different values" true (x <> y)
+
+let test_rng_int_bounds () =
+  let rng = Des.Rng.create ~seed:1L in
+  for _ = 1 to 10_000 do
+    let v = Des.Rng.int rng 17 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 17)
+  done
+
+let test_rng_float_bounds () =
+  let rng = Des.Rng.create ~seed:2L in
+  for _ = 1 to 10_000 do
+    let v = Des.Rng.float rng in
+    Alcotest.(check bool) "in [0,1)" true (v >= 0.0 && v < 1.0)
+  done
+
+let test_sched_delays_order_threads () =
+  let sched = Des.Sched.create () in
+  let log = ref [] in
+  Des.Sched.spawn sched ~name:"slow" (fun () ->
+      Des.Sched.delay 2.0;
+      log := ("slow", Des.Sched.now sched) :: !log);
+  Des.Sched.spawn sched ~name:"fast" (fun () ->
+      Des.Sched.delay 1.0;
+      log := ("fast", Des.Sched.now sched) :: !log);
+  Des.Sched.run sched;
+  Alcotest.(check (list (pair string (float 1e-9))))
+    "interleaving" [ ("slow", 2.0); ("fast", 1.0) ] !log
+
+let test_sched_charge_accumulates () =
+  let sched = Des.Sched.create () in
+  let finish = ref 0.0 in
+  Des.Sched.spawn sched ~name:"t" (fun () ->
+      Des.Sched.charge 0.5;
+      Des.Sched.charge 0.25;
+      Des.Sched.delay 1.0;
+      finish := Des.Sched.now sched);
+  Des.Sched.run sched;
+  Alcotest.(check (float 1e-9)) "charge folded into delay" 1.75 !finish
+
+let test_sched_outside_sim_noops () =
+  Alcotest.(check bool) "not running" false (Des.Sched.running ());
+  Des.Sched.delay 5.0;
+  Des.Sched.charge 5.0;
+  Alcotest.(check int) "id" (-1) (Des.Sched.current_id ());
+  Alcotest.(check int) "numa" 0 (Des.Sched.current_numa ())
+
+let test_sched_thread_identity () =
+  let sched = Des.Sched.create () in
+  let seen = ref [] in
+  for i = 0 to 2 do
+    Des.Sched.spawn sched ~numa:i ~name:(Printf.sprintf "t%d" i) (fun () ->
+        seen :=
+          (Des.Sched.current_id (), Des.Sched.current_numa (), Des.Sched.current_name ())
+          :: !seen)
+  done;
+  Des.Sched.run sched;
+  let sorted = List.sort compare !seen in
+  Alcotest.(check (list (triple int int string)))
+    "identities"
+    [ (0, 0, "t0"); (1, 1, "t1"); (2, 2, "t2") ]
+    sorted
+
+let test_waitq_signal_all () =
+  let sched = Des.Sched.create () in
+  let wq = Des.Sched.Waitq.create () in
+  let woken = ref 0 in
+  for i = 1 to 3 do
+    Des.Sched.spawn sched ~name:(Printf.sprintf "w%d" i) (fun () ->
+        Des.Sched.Waitq.wait wq;
+        incr woken)
+  done;
+  Des.Sched.spawn sched ~name:"signaller" (fun () ->
+      Des.Sched.delay 1.0;
+      Des.Sched.Waitq.signal_all sched wq);
+  Des.Sched.run sched;
+  Alcotest.(check int) "all woken" 3 !woken
+
+let test_waitq_signal_one_fifo () =
+  let sched = Des.Sched.create () in
+  let wq = Des.Sched.Waitq.create () in
+  let order = ref [] in
+  for i = 1 to 2 do
+    Des.Sched.spawn sched ~name:(Printf.sprintf "w%d" i) (fun () ->
+        Des.Sched.Waitq.wait wq;
+        order := i :: !order)
+  done;
+  Des.Sched.spawn sched ~name:"signaller" (fun () ->
+      Des.Sched.delay 1.0;
+      Des.Sched.Waitq.signal_one sched wq;
+      Des.Sched.delay 1.0;
+      Des.Sched.Waitq.signal_one sched wq);
+  Des.Sched.run sched;
+  Alcotest.(check (list int)) "fifo wakeups" [ 2; 1 ] !order
+
+let test_deadlock_detected () =
+  let sched = Des.Sched.create () in
+  let wq = Des.Sched.Waitq.create () in
+  Des.Sched.spawn sched ~name:"stuck" (fun () -> Des.Sched.Waitq.wait wq);
+  Alcotest.check_raises "blocked forever"
+    (Invalid_argument "Sched.run: 1 thread(s) blocked forever (missing signal?)")
+    (fun () -> Des.Sched.run sched)
+
+let test_mutex_excludes () =
+  let sched = Des.Sched.create () in
+  let mutex = Des.Sync.Mutex.create () in
+  let in_cs = ref 0 and max_in_cs = ref 0 and done_count = ref 0 in
+  for i = 1 to 4 do
+    Des.Sched.spawn sched ~name:(Printf.sprintf "t%d" i) (fun () ->
+        Des.Sync.Mutex.with_lock mutex (fun () ->
+            incr in_cs;
+            if !in_cs > !max_in_cs then max_in_cs := !in_cs;
+            Des.Sched.delay 1.0;
+            decr in_cs);
+        incr done_count)
+  done;
+  Des.Sched.run sched;
+  Alcotest.(check int) "mutual exclusion" 1 !max_in_cs;
+  Alcotest.(check int) "all completed" 4 !done_count;
+  Alcotest.(check (float 1e-9)) "serialized time" 4.0 (Des.Sched.now sched)
+
+let test_mutex_outside_sim () =
+  let mutex = Des.Sync.Mutex.create () in
+  let v = Des.Sync.Mutex.with_lock mutex (fun () -> 42) in
+  Alcotest.(check int) "usable outside sim" 42 v;
+  Alcotest.(check bool) "released" false (Des.Sync.Mutex.locked mutex)
+
+let test_determinism () =
+  let run () =
+    let sched = Des.Sched.create () in
+    let rng = Des.Rng.create ~seed:99L in
+    let trace = Buffer.create 64 in
+    for i = 0 to 4 do
+      let rng = Des.Rng.split rng in
+      Des.Sched.spawn sched ~name:(Printf.sprintf "t%d" i) (fun () ->
+          for _ = 1 to 10 do
+            Des.Sched.delay (Des.Rng.float rng);
+            Buffer.add_string trace
+              (Printf.sprintf "%d@%.6f;" (Des.Sched.current_id ())
+                 (Des.Sched.now sched))
+          done)
+    done;
+    Des.Sched.run sched;
+    Buffer.contents trace
+  in
+  Alcotest.(check string) "identical traces" (run ()) (run ())
+
+let suite =
+  [
+    Alcotest.test_case "event queue: ordering" `Quick test_event_queue_order;
+    Alcotest.test_case "event queue: FIFO ties" `Quick test_event_queue_fifo_ties;
+    Alcotest.test_case "event queue: 1000 random" `Quick test_event_queue_many;
+    Alcotest.test_case "rng: deterministic" `Quick test_rng_deterministic;
+    Alcotest.test_case "rng: split independence" `Quick test_rng_split_independent;
+    Alcotest.test_case "rng: int bounds" `Quick test_rng_int_bounds;
+    Alcotest.test_case "rng: float bounds" `Quick test_rng_float_bounds;
+    Alcotest.test_case "sched: delay ordering" `Quick test_sched_delays_order_threads;
+    Alcotest.test_case "sched: charge accumulates" `Quick test_sched_charge_accumulates;
+    Alcotest.test_case "sched: no-ops outside sim" `Quick test_sched_outside_sim_noops;
+    Alcotest.test_case "sched: thread identity" `Quick test_sched_thread_identity;
+    Alcotest.test_case "waitq: signal_all" `Quick test_waitq_signal_all;
+    Alcotest.test_case "waitq: signal_one FIFO" `Quick test_waitq_signal_one_fifo;
+    Alcotest.test_case "sched: deadlock detection" `Quick test_deadlock_detected;
+    Alcotest.test_case "mutex: mutual exclusion" `Quick test_mutex_excludes;
+    Alcotest.test_case "mutex: outside sim" `Quick test_mutex_outside_sim;
+    Alcotest.test_case "sched: determinism" `Quick test_determinism;
+  ]

@@ -1,0 +1,334 @@
+(* Tests for the simulated NVM: persistence semantics, crash model,
+   cost-model behaviours the paper's findings rely on (FH1-FH5). *)
+
+module Machine = Nvm.Machine
+module Pool = Nvm.Pool
+module Stats = Nvm.Stats
+
+let make_machine ?protocol () = Machine.create ?protocol ~numa_count:2 ()
+
+let make_pool ?(capacity = 1 lsl 20) ?volatile machine =
+  Pool.create machine ?volatile ~name:"test" ~numa:0 ~capacity ()
+
+let test_rw_roundtrip () =
+  let m = make_machine () in
+  let p = make_pool m in
+  Pool.write_u8 p 3 0xAB;
+  Pool.write_u16 p 10 0xBEEF;
+  Pool.write_u32 p 20 0xDEADBEE;
+  Pool.write_int p 32 123456789;
+  Pool.write_int64 p 40 (-1L);
+  Pool.write_string p 100 "hello nvm";
+  Alcotest.(check int) "u8" 0xAB (Pool.read_u8 p 3);
+  Alcotest.(check int) "u16" 0xBEEF (Pool.read_u16 p 10);
+  Alcotest.(check int) "u32" 0xDEADBEE (Pool.read_u32 p 20);
+  Alcotest.(check int) "int" 123456789 (Pool.read_int p 32);
+  Alcotest.(check int64) "int64" (-1L) (Pool.read_int64 p 40);
+  Alcotest.(check string) "string" "hello nvm" (Pool.read_string p 100 9)
+
+let test_compare_string () =
+  let m = make_machine () in
+  let p = make_pool m in
+  Pool.write_string p 0 "abcdef";
+  Alcotest.(check int) "equal" 0 (Pool.compare_string p 0 6 "abcdef");
+  Alcotest.(check bool) "less" true (Pool.compare_string p 0 6 "abcdeg" < 0);
+  Alcotest.(check bool) "greater" true (Pool.compare_string p 0 6 "abcdee" > 0);
+  Alcotest.(check bool) "prefix shorter" true (Pool.compare_string p 0 6 "abcdefg" < 0);
+  Alcotest.(check bool) "prefix longer" true (Pool.compare_string p 0 6 "abc" > 0)
+
+let test_persist_survives_strict_crash () =
+  let m = make_machine () in
+  let p = make_pool m in
+  Pool.write_int p 0 42;
+  Pool.persist p 0 8;
+  Pool.write_int p 64 99 (* dirty, never flushed *);
+  Machine.crash m Machine.Strict;
+  Alcotest.(check int) "persisted survives" 42 (Pool.read_int p 0);
+  Alcotest.(check int) "unflushed lost" 0 (Pool.read_int p 64)
+
+let test_clwb_without_fence_lost_strict () =
+  let m = make_machine () in
+  let p = make_pool m in
+  Pool.write_int p 0 42;
+  Pool.clwb p 0;
+  (* no fence *)
+  Machine.crash m Machine.Strict;
+  Alcotest.(check int) "clwb without fence not durable" 0 (Pool.read_int p 0)
+
+let test_flaky_crash_probabilistic () =
+  let m = make_machine () in
+  let p = make_pool m in
+  for i = 0 to 99 do
+    Pool.write_int p (i * 64) (i + 1)
+  done;
+  let rng = Des.Rng.create ~seed:5L in
+  Machine.crash m (Machine.Flaky (0.5, rng));
+  let survived = ref 0 in
+  for i = 0 to 99 do
+    if Pool.read_int p (i * 64) = i + 1 then incr survived
+  done;
+  Alcotest.(check bool) "some survived" true (!survived > 10);
+  Alcotest.(check bool) "some lost" true (!survived < 90)
+
+let test_flaky_p1_persists_all_dirty () =
+  let m = make_machine () in
+  let p = make_pool m in
+  Pool.write_int p 0 7;
+  let rng = Des.Rng.create ~seed:5L in
+  Machine.crash m (Machine.Flaky (1.0, rng));
+  Alcotest.(check int) "dirty line evicted to media" 7 (Pool.read_int p 0)
+
+let test_overwrite_after_clwb () =
+  (* The clwb snapshot is what the fence persists; later stores to the
+     same line need their own flush. *)
+  let m = make_machine () in
+  let p = make_pool m in
+  Pool.write_int p 0 1;
+  Pool.clwb p 0;
+  Pool.write_int p 0 2;
+  Pool.fence p;
+  Machine.crash m Machine.Strict;
+  Alcotest.(check int) "snapshot value persisted" 1 (Pool.read_int p 0)
+
+let test_volatile_pool_lost_on_crash () =
+  let m = make_machine () in
+  let p = make_pool ~volatile:true m in
+  Pool.write_int p 0 42;
+  Pool.persist p 0 8 (* no-op flush on DRAM *);
+  Machine.crash m Machine.Strict;
+  Alcotest.(check int) "dram wiped" 0 (Pool.read_int p 0)
+
+let test_media_read_int () =
+  let m = make_machine () in
+  let p = make_pool m in
+  Pool.write_int p 0 42;
+  Alcotest.(check int) "not yet in media" 0 (Pool.media_read_int p 0);
+  Alcotest.(check bool) "line dirty" true (Pool.line_is_dirty p 0);
+  Pool.persist p 0 8;
+  Alcotest.(check int) "in media after persist" 42 (Pool.media_read_int p 0);
+  Alcotest.(check bool) "line clean" false (Pool.line_is_dirty p 0)
+
+let test_flush_counts () =
+  let m = make_machine () in
+  let p = make_pool m in
+  let before = Stats.snapshot (Machine.stats m) in
+  Pool.write_int p 0 1;
+  Pool.persist p 0 8;
+  let d = Stats.diff (Machine.stats m) before in
+  Alcotest.(check int) "one clwb" 1 d.Stats.flushes;
+  Alcotest.(check int) "one sfence" 1 d.Stats.fences
+
+let test_write_combining_groups_xpline () =
+  (* Flushing 4 lines of one XPLine then fencing must produce a single
+     full (non-RMW) media write; a single line flush is a partial RMW
+     write (FH1 write amplification). *)
+  let m = make_machine () in
+  let p = make_pool m in
+  let dev_stats = Nvm.Device.stats (Machine.device m 0) in
+  let before = Stats.snapshot dev_stats in
+  for line = 0 to 3 do
+    Pool.write_int p (line * 64) 1;
+    Pool.clwb p (line * 64)
+  done;
+  Pool.fence p;
+  let d = Stats.diff dev_stats before in
+  Alcotest.(check int) "one media write" 1 d.Stats.media_writes;
+  Alcotest.(check int) "no rmw read" 0 d.Stats.rmw_reads;
+  let before = Stats.snapshot dev_stats in
+  Pool.write_int p 1024 1;
+  Pool.persist p 1024 8;
+  let d = Stats.diff dev_stats before in
+  Alcotest.(check int) "partial write" 1 d.Stats.media_writes;
+  Alcotest.(check int) "rmw amplification" 1 d.Stats.rmw_reads
+
+let run_in_sim f =
+  let sched = Des.Sched.create () in
+  let result = ref None in
+  Des.Sched.spawn sched ~name:"t" (fun () -> result := Some (f sched));
+  Des.Sched.run sched;
+  Option.get !result
+
+let test_sequential_read_faster_than_random () =
+  (* FH3: sequential reads exploit the read buffer and prefetcher.
+     Both patterns touch 4096 (mostly) distinct lines; the random one
+     draws from a 16MB region so CPU cache reuse is negligible. *)
+  let time_pattern sequential =
+    run_in_sim (fun sched ->
+        let m = make_machine () in
+        let p = make_pool ~capacity:(1 lsl 24) m in
+        let rng = Des.Rng.create ~seed:3L in
+        let start = Des.Sched.now sched in
+        for i = 0 to 4095 do
+          let off =
+            if sequential then i * 64 else Des.Rng.int rng (1 lsl 18) * 64
+          in
+          ignore (Pool.read_int p off)
+        done;
+        Des.Sched.delay 0.0;
+        Des.Sched.now sched -. start)
+  in
+  let seq = time_pattern true and rand = time_pattern false in
+  Alcotest.(check bool)
+    (Printf.sprintf "sequential (%.2e) at least 2x faster than random (%.2e)" seq rand)
+    true
+    (seq *. 2.0 < rand)
+
+let test_cache_hits_are_cheap () =
+  let first, second =
+    run_in_sim (fun sched ->
+        let m = make_machine () in
+        let p = make_pool m in
+        let t0 = Des.Sched.now sched in
+        ignore (Pool.read_int p 0);
+        Des.Sched.delay 0.0;
+        let t1 = Des.Sched.now sched in
+        ignore (Pool.read_int p 0);
+        Des.Sched.delay 0.0;
+        let t2 = Des.Sched.now sched in
+        (t1 -. t0, t2 -. t1))
+  in
+  Alcotest.(check bool) "second access is a cache hit" true (second *. 5.0 < first)
+
+let test_directory_protocol_generates_writes () =
+  (* FH5: under the directory protocol, remote reads write directory
+     state to the media; under snoop they do not. *)
+  let remote_reads protocol =
+    run_in_sim (fun _sched ->
+        let m = make_machine ~protocol () in
+        let p = make_pool m in
+        ignore p;
+        (* Thread on NUMA 1 reads pool on NUMA 0. *)
+        m)
+    |> ignore
+  in
+  ignore remote_reads;
+  let run protocol =
+    let m = Machine.create ~protocol ~numa_count:2 () in
+    let p = Pool.create m ~name:"remote" ~numa:0 ~capacity:(1 lsl 20) () in
+    let sched = Des.Sched.create () in
+    Des.Sched.spawn sched ~numa:1 ~name:"remote-reader" (fun () ->
+        let rng = Des.Rng.create ~seed:11L in
+        for _ = 1 to 2048 do
+          ignore (Pool.read_int p (Des.Rng.int rng (1 lsl 14) * 64))
+        done);
+    Des.Sched.run sched;
+    Nvm.Device.stats (Machine.device m 0)
+  in
+  let dir = run Nvm.Config.Directory and snoop = run Nvm.Config.Snoop in
+  Alcotest.(check bool) "directory writes present" true (dir.Stats.dir_writes > 1000);
+  Alcotest.(check int) "snoop: none" 0 snoop.Stats.dir_writes;
+  Alcotest.(check bool) "dir write traffic comparable to reads" true
+    (Stats.total_write_bytes dir * 2 > Stats.total_read_bytes dir / 2)
+
+let test_local_reads_no_directory_writes () =
+  let m = Machine.create ~protocol:Nvm.Config.Directory ~numa_count:2 () in
+  let p = Pool.create m ~name:"local" ~numa:0 ~capacity:(1 lsl 20) () in
+  let sched = Des.Sched.create () in
+  Des.Sched.spawn sched ~numa:0 ~name:"local-reader" (fun () ->
+      for i = 0 to 1023 do
+        ignore (Pool.read_int p (i * 64))
+      done);
+  Des.Sched.run sched;
+  let stats = Nvm.Device.stats (Machine.device m 0) in
+  Alcotest.(check int) "no directory writes for local reads" 0 stats.Stats.dir_writes
+
+let test_bandwidth_saturation () =
+  (* GC1: aggregate throughput saturates as readers contend for the
+     device channels. *)
+  let elapsed_with threads =
+    let m = make_machine () in
+    let p = Pool.create m ~name:"bw" ~numa:0 ~capacity:(1 lsl 22) () in
+    let sched = Des.Sched.create () in
+    for t = 0 to threads - 1 do
+      Des.Sched.spawn sched ~numa:0 ~name:(Printf.sprintf "r%d" t) (fun () ->
+          let rng = Des.Rng.create ~seed:(Int64.of_int (t + 1)) in
+          for _ = 1 to 2048 do
+            ignore (Pool.read_int p (Des.Rng.int rng (1 lsl 16) * 64))
+          done)
+    done;
+    Des.Sched.run sched;
+    Des.Sched.now sched
+  in
+  let t1 = elapsed_with 1 and t64 = elapsed_with 64 in
+  (* 64 threads do 64x the work; with ~16 channels the elapsed time
+     must grow (bandwidth bound), but far less than 64x. *)
+  Alcotest.(check bool) "more threads take longer" true (t64 > t1 *. 1.5);
+  Alcotest.(check bool) "but scale via parallel channels" true (t64 < t1 *. 32.0)
+
+let test_read_write_asymmetry () =
+  (* FH2: writes are slower than reads. *)
+  let m = make_machine () in
+  let p = make_pool m in
+  let read_time =
+    run_in_sim (fun sched ->
+        let start = Des.Sched.now sched in
+        ignore (Pool.read_int p (1 lsl 16));
+        Des.Sched.delay 0.0;
+        Des.Sched.now sched -. start)
+  in
+  let write_time =
+    run_in_sim (fun sched ->
+        let start = Des.Sched.now sched in
+        Pool.write_int p (1 lsl 17) 1;
+        Pool.persist p (1 lsl 17) 8;
+        Des.Sched.now sched -. start)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "persist (%.2e) slower than read (%.2e)" write_time read_time)
+    true
+    (write_time > read_time *. 1.5)
+
+let test_stats_roundtrip () =
+  let s = Stats.create () in
+  s.Stats.media_reads <- 10;
+  s.Stats.media_read_bytes <- 2560;
+  let snap = Stats.snapshot s in
+  s.Stats.media_reads <- 15;
+  let d = Stats.diff s snap in
+  Alcotest.(check int) "diff" 5 d.Stats.media_reads;
+  Stats.add snap d;
+  Alcotest.(check int) "add" 15 snap.Stats.media_reads;
+  Stats.reset s;
+  Alcotest.(check int) "reset" 0 s.Stats.media_reads
+
+let test_config_bandwidths () =
+  let open Nvm.Config in
+  Alcotest.(check bool) "default read bw ~ tens of GB/s" true
+    (read_bandwidth dcpmm > 10e9 && read_bandwidth dcpmm < 100e9);
+  Alcotest.(check bool) "write bw below read bw" true
+    (write_bandwidth dcpmm < read_bandwidth dcpmm);
+  Alcotest.(check bool) "low-bw machine ~3x lower" true
+    (read_bandwidth dcpmm_low_bw *. 2.5 < read_bandwidth dcpmm)
+
+let suite =
+  [
+    Alcotest.test_case "pool: typed read/write roundtrip" `Quick test_rw_roundtrip;
+    Alcotest.test_case "pool: compare_string" `Quick test_compare_string;
+    Alcotest.test_case "crash: persist survives strict" `Quick
+      test_persist_survives_strict_crash;
+    Alcotest.test_case "crash: clwb without fence lost" `Quick
+      test_clwb_without_fence_lost_strict;
+    Alcotest.test_case "crash: flaky is probabilistic" `Quick
+      test_flaky_crash_probabilistic;
+    Alcotest.test_case "crash: flaky p=1 evicts dirty" `Quick
+      test_flaky_p1_persists_all_dirty;
+    Alcotest.test_case "crash: clwb snapshots its line" `Quick test_overwrite_after_clwb;
+    Alcotest.test_case "crash: volatile pool wiped" `Quick test_volatile_pool_lost_on_crash;
+    Alcotest.test_case "pool: media image inspection" `Quick test_media_read_int;
+    Alcotest.test_case "stats: flush/fence counts" `Quick test_flush_counts;
+    Alcotest.test_case "device: write combining (FH3)" `Quick
+      test_write_combining_groups_xpline;
+    Alcotest.test_case "device: sequential beats random (FH3)" `Quick
+      test_sequential_read_faster_than_random;
+    Alcotest.test_case "machine: cpu cache hits cheap" `Quick test_cache_hits_are_cheap;
+    Alcotest.test_case "device: directory coherence writes (FH5)" `Quick
+      test_directory_protocol_generates_writes;
+    Alcotest.test_case "device: local reads have no dir writes" `Quick
+      test_local_reads_no_directory_writes;
+    Alcotest.test_case "device: bandwidth saturation (GC1)" `Quick
+      test_bandwidth_saturation;
+    Alcotest.test_case "device: read/write asymmetry (FH2)" `Quick
+      test_read_write_asymmetry;
+    Alcotest.test_case "stats: snapshot/diff/add/reset" `Quick test_stats_roundtrip;
+    Alcotest.test_case "config: bandwidth presets" `Quick test_config_bandwidths;
+  ]

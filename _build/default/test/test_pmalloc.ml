@@ -1,0 +1,253 @@
+(* Tests for persistent pointers and the allocators (GS1/GS2). *)
+
+module Machine = Nvm.Machine
+module Pool = Nvm.Pool
+module Heap = Pmalloc.Heap
+module Pptr = Pmalloc.Pptr
+
+let make_machine () = Machine.create ~numa_count:2 ()
+
+let make_heap ?(kind = Heap.Pmdk) ?(numa_pools = 2) machine =
+  Heap.create machine ~kind ~name:"heap" ~numa_pools ~capacity:(1 lsl 20) ()
+
+let test_pptr_pack_unpack () =
+  let p = Pptr.make ~pool:123 ~off:45678 in
+  Alcotest.(check int) "pool" 123 (Pptr.pool p);
+  Alcotest.(check int) "off" 45678 (Pptr.off p);
+  Alcotest.(check bool) "not null" false (Pptr.is_null p);
+  Alcotest.(check bool) "null is null" true (Pptr.is_null Pptr.null)
+
+let test_pptr_tag () =
+  let p = Pptr.make ~pool:7 ~off:1024 in
+  let tagged = Pptr.tagged p in
+  Alcotest.(check bool) "tagged" true (Pptr.is_tagged tagged);
+  Alcotest.(check bool) "untagged original" false (Pptr.is_tagged p);
+  Alcotest.(check bool) "untag restores" true (Pptr.equal p (Pptr.untag tagged));
+  Alcotest.(check int) "off ignores tag" 1024 (Pptr.off tagged)
+
+let test_pptr_qcheck_roundtrip =
+  QCheck.Test.make ~name:"pptr: pack/unpack roundtrip" ~count:1000
+    QCheck.(pair (int_bound ((1 lsl 22) - 1)) (int_bound ((1 lsl 30) - 1)))
+    (fun (pool, raw_off) ->
+      let off = raw_off land lnot 7 in
+      let p = Pptr.make ~pool ~off in
+      Pptr.pool p = pool && Pptr.off p = off
+      && Pptr.pool (Pptr.tagged p) = pool
+      && Pptr.off (Pptr.untag (Pptr.tagged p)) = off)
+
+let test_alloc_returns_distinct () =
+  let m = make_machine () in
+  let h = make_heap m in
+  let a = Heap.alloc h ~numa:0 64 in
+  let b = Heap.alloc h ~numa:0 64 in
+  Alcotest.(check bool) "distinct" false (Pptr.equal a b);
+  Alcotest.(check bool) "aligned 64" true (Pptr.off a mod 64 = 0);
+  Alcotest.(check bool) "aligned 64" true (Pptr.off b mod 64 = 0)
+
+let test_alloc_numa_local () =
+  let m = make_machine () in
+  let h = make_heap m in
+  let a = Heap.alloc h ~numa:0 64 and b = Heap.alloc h ~numa:1 64 in
+  Alcotest.(check int) "numa 0 pool" 0 (Nvm.Pool.numa (Heap.pool h a));
+  Alcotest.(check int) "numa 1 pool" 1 (Nvm.Pool.numa (Heap.pool h b))
+
+let test_alloc_uses_thread_numa () =
+  let m = make_machine () in
+  let h = make_heap m in
+  let ptrs = Array.make 2 Pptr.null in
+  let sched = Des.Sched.create () in
+  for numa = 0 to 1 do
+    Des.Sched.spawn sched ~numa ~name:(Printf.sprintf "t%d" numa) (fun () ->
+        ptrs.(numa) <- Heap.alloc h 64)
+  done;
+  Des.Sched.run sched;
+  Alcotest.(check int) "thread on numa0" 0 (Nvm.Pool.numa (Heap.pool h ptrs.(0)));
+  Alcotest.(check int) "thread on numa1" 1 (Nvm.Pool.numa (Heap.pool h ptrs.(1)))
+
+let test_free_then_reuse () =
+  let m = make_machine () in
+  let h = make_heap m in
+  let a = Heap.alloc h ~numa:0 128 in
+  Heap.free h a;
+  let b = Heap.alloc h ~numa:0 128 in
+  Alcotest.(check bool) "freelist reuse" true (Pptr.equal a b)
+
+let test_free_different_classes_no_mix () =
+  let m = make_machine () in
+  let h = make_heap m in
+  let a = Heap.alloc h ~numa:0 128 in
+  Heap.free h a;
+  let b = Heap.alloc h ~numa:0 4096 in
+  Alcotest.(check bool) "no cross-class reuse" false (Pptr.equal a b)
+
+let test_volatile_heap_no_nvm_traffic () =
+  (* GS1: the jemalloc-like allocator does no NVM metadata writes. *)
+  let m = make_machine () in
+  let h = make_heap ~kind:Heap.Volatile_meta m in
+  let before = Nvm.Stats.snapshot (Machine.total_stats m) in
+  for _ = 1 to 100 do
+    ignore (Heap.alloc h ~numa:0 64)
+  done;
+  let d = Nvm.Stats.diff (Machine.total_stats m) before in
+  Alcotest.(check int) "no flushes" 0 d.Nvm.Stats.flushes;
+  Alcotest.(check int) "no fences" 0 d.Nvm.Stats.fences
+
+let test_pmdk_heap_flushes () =
+  let m = make_machine () in
+  let h = make_heap ~kind:Heap.Pmdk m in
+  let before = Nvm.Stats.snapshot (Machine.total_stats m) in
+  let a = Heap.alloc h ~numa:0 64 in
+  Heap.free h a;
+  let d = Nvm.Stats.diff (Machine.total_stats m) before in
+  (* The paper quotes ~6 flushes per alloc/free pair for PMDK. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "several flushes per alloc/free pair (%d)" d.Nvm.Stats.flushes)
+    true
+    (d.Nvm.Stats.flushes >= 5);
+  Alcotest.(check bool) "several fences" true (d.Nvm.Stats.fences >= 5)
+
+let test_pmdk_slower_than_volatile () =
+  let time kind =
+    let m = make_machine () in
+    let h = make_heap ~kind m in
+    let sched = Des.Sched.create () in
+    Des.Sched.spawn sched ~name:"alloc" (fun () ->
+        for _ = 1 to 200 do
+          ignore (Heap.alloc h 64)
+        done);
+    Des.Sched.run sched;
+    Des.Sched.now sched
+  in
+  let pmdk = time Heap.Pmdk and volatile = time Heap.Volatile_meta in
+  Alcotest.(check bool)
+    (Printf.sprintf "pmdk (%.2e) much slower than jemalloc-like (%.2e)" pmdk volatile)
+    true
+    (pmdk > volatile *. 2.0)
+
+let test_alloc_to_publishes_dest () =
+  let m = make_machine () in
+  let h = make_heap m in
+  let dest = Pool.create m ~name:"dest" ~numa:0 ~capacity:4096 () in
+  let ptr = Heap.alloc_to h ~numa:0 ~size:64 ~dest_pool:dest ~dest_off:128 () in
+  Alcotest.(check bool) "dest holds pointer" true (Pool.read_int dest 128 = ptr);
+  (* and it is already persistent: *)
+  Machine.crash m Machine.Strict;
+  Alcotest.(check bool) "dest persisted" true (Pool.read_int dest 128 = ptr)
+
+let test_alloc_to_no_leak_on_crash () =
+  (* Interrupt an allocation before its commit by crashing right after
+     create; recovery must roll the bump pointer back. *)
+  let m = make_machine () in
+  let h = make_heap ~numa_pools:1 m in
+  let dest = Pool.create m ~name:"dest" ~numa:0 ~capacity:4096 () in
+  let p0 = Heap.pool_by_numa h 0 in
+  let remaining_before = Heap.remaining h ~numa:0 in
+  ignore p0;
+  (* Simulate a crash in the middle of alloc_to: do the allocation,
+     then crash *without* the dest write having persisted.  We emulate
+     by crashing Strict right after a plain alloc (the commit record
+     persists before return, so instead we check the invariant
+     differently: a completed alloc_to survives, an uncommitted alloc
+     is rolled back by recover).  Here: completed case. *)
+  let ptr = Heap.alloc_to h ~size:64 ~dest_pool:dest ~dest_off:0 () in
+  Machine.crash m Machine.Strict;
+  Heap.recover h;
+  Alcotest.(check bool) "completed alloc kept" true (Pool.read_int dest 0 = ptr);
+  let remaining_after = Heap.remaining h ~numa:0 in
+  Alcotest.(check bool) "space consumed" true (remaining_after < remaining_before)
+
+let test_recover_rolls_back_torn_alloc () =
+  (* Manually fabricate a torn allocation: persist an active log entry
+     with a moved bump pointer, as if we crashed between step 1 and
+     the commit, with no dest write. *)
+  let m = make_machine () in
+  let h = make_heap ~numa_pools:1 m in
+  let p = Heap.pool_by_numa h 0 in
+  let bump_before = Pool.read_int p 8 in
+  (* Log entry: state=bump-alloc(1), class=4 (size 64), block, old. *)
+  let block_off = bump_before + 64 in
+  Pool.write_int p (64 + 8) 4;
+  Pool.write_int p (64 + 16) (Pptr.make ~pool:(Pool.id p) ~off:block_off);
+  Pool.write_int p (64 + 24) bump_before;
+  Pool.write_int p (64 + 32) 0;
+  Pool.write_int p 64 1;
+  Pool.persist p 64 64;
+  Pool.write_int p 8 (block_off + 64);
+  Pool.persist p 8 8;
+  Machine.crash m Machine.Strict;
+  Heap.recover h;
+  Alcotest.(check int) "bump rolled back" bump_before (Pool.read_int p 8);
+  Alcotest.(check int) "log cleared" 0 (Pool.read_int p 64)
+
+let test_volatile_recover_resets () =
+  let m = make_machine () in
+  let h = make_heap ~kind:Heap.Volatile_meta ~numa_pools:1 m in
+  let a = Heap.alloc h ~numa:0 64 in
+  Machine.crash m Machine.Strict;
+  Heap.recover h;
+  let b = Heap.alloc h ~numa:0 64 in
+  (* Reset heap hands out the same space again: metadata was lost. *)
+  Alcotest.(check bool) "metadata lost" true (Pptr.equal a b)
+
+let test_stats_counting () =
+  let m = make_machine () in
+  let h = make_heap m in
+  let a = Heap.alloc h ~numa:0 64 in
+  ignore (Heap.alloc h ~numa:0 100);
+  Heap.free h a;
+  let s = Heap.stats h in
+  Alcotest.(check int) "allocs" 2 s.Heap.allocs;
+  Alcotest.(check int) "frees" 1 s.Heap.frees;
+  Alcotest.(check int) "bytes rounded to classes" (64 + 128) s.Heap.alloc_bytes
+
+let test_alloc_size_limit () =
+  let m = make_machine () in
+  let h = make_heap m in
+  Alcotest.check_raises "too large"
+    (Invalid_argument "Heap.alloc: size 100000 too large") (fun () ->
+      ignore (Heap.alloc h 100000))
+
+let test_concurrent_allocs_distinct =
+  QCheck.Test.make ~name:"heap: concurrent allocations are distinct" ~count:20
+    QCheck.(int_range 2 12)
+    (fun threads ->
+      let m = make_machine () in
+      let h = make_heap ~numa_pools:1 m in
+      let results = Array.make threads [] in
+      let sched = Des.Sched.create () in
+      for t = 0 to threads - 1 do
+        Des.Sched.spawn sched ~name:(Printf.sprintf "t%d" t) (fun () ->
+            for _ = 1 to 10 do
+              results.(t) <- Heap.alloc h 64 :: results.(t)
+            done)
+      done;
+      Des.Sched.run sched;
+      let all = Array.to_list results |> List.concat in
+      let uniq = List.sort_uniq compare all in
+      List.length uniq = List.length all)
+
+let suite =
+  [
+    Alcotest.test_case "pptr: pack/unpack" `Quick test_pptr_pack_unpack;
+    Alcotest.test_case "pptr: tagging" `Quick test_pptr_tag;
+    QCheck_alcotest.to_alcotest test_pptr_qcheck_roundtrip;
+    Alcotest.test_case "heap: distinct allocations" `Quick test_alloc_returns_distinct;
+    Alcotest.test_case "heap: NUMA-local pools (GS2)" `Quick test_alloc_numa_local;
+    Alcotest.test_case "heap: thread NUMA default" `Quick test_alloc_uses_thread_numa;
+    Alcotest.test_case "heap: free then reuse" `Quick test_free_then_reuse;
+    Alcotest.test_case "heap: classes are segregated" `Quick
+      test_free_different_classes_no_mix;
+    Alcotest.test_case "heap: volatile kind does no NVM writes" `Quick
+      test_volatile_heap_no_nvm_traffic;
+    Alcotest.test_case "heap: pmdk kind flushes (GS1)" `Quick test_pmdk_heap_flushes;
+    Alcotest.test_case "heap: pmdk slower than volatile (GS1)" `Quick
+      test_pmdk_slower_than_volatile;
+    Alcotest.test_case "heap: alloc_to publishes dest" `Quick test_alloc_to_publishes_dest;
+    Alcotest.test_case "heap: alloc_to survives crash" `Quick test_alloc_to_no_leak_on_crash;
+    Alcotest.test_case "heap: recovery rolls back torn alloc" `Quick
+      test_recover_rolls_back_torn_alloc;
+    Alcotest.test_case "heap: volatile recovery resets" `Quick test_volatile_recover_resets;
+    Alcotest.test_case "heap: stats counting" `Quick test_stats_counting;
+    Alcotest.test_case "heap: size limit" `Quick test_alloc_size_limit;
+    QCheck_alcotest.to_alcotest test_concurrent_allocs_distinct;
+  ]
