@@ -50,6 +50,29 @@ let microbench () =
       | Some _ | None -> Format.printf "%-24s (no estimate)@." name)
     results
 
+(* Bounded crash-state model-checking sweep (lib/crashmc): not a
+   paper figure, but the strongest correctness evidence in the suite —
+   every enumerated crash image of a mixed single-writer trace must
+   recover to a durably-linearizable state, on every index. *)
+let crashmc scale =
+  let quick = scale.Experiments.Scale.keys < 1_000_000 in
+  let ops = if quick then 40 else 90 in
+  let budget = if quick then 24 else 48 in
+  let seed = Int64.to_int (Des.Rng.env_seed ~default:1L) in
+  Format.printf "@.=== crashmc: durable-linearizability crash sweep ===@.";
+  List.iter
+    (fun kind ->
+      let sut = Crashmc.Sut.make kind in
+      let r =
+        Crashmc.Harness.run ~budget_per_point:budget ~max_states:10_000 ~seed ~sut
+          ~ops:(Crashmc.Harness.mixed_workload ~seed ops)
+          ()
+      in
+      Format.printf "%a@." Crashmc.Harness.pp_report r;
+      if not (Crashmc.Harness.ok r) then
+        Format.printf "  seed %d (override with PACTREE_SEED)@." seed)
+    Crashmc.Sut.all
+
 let all_figures =
   [
     ("fig2", Experiments.Figures.fig2);
@@ -68,6 +91,7 @@ let all_figures =
     ("fh5", Experiments.Figures.fh5);
     ("sec6_7", Experiments.Figures.sec6_7);
     ("sec6_8", Experiments.Figures.sec6_8);
+    ("crashmc", crashmc);
   ]
 
 let () =

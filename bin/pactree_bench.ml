@@ -150,7 +150,128 @@ let crash_cmd =
   let rounds_arg = Arg.(value & opt int 100 & info [ "rounds" ] ~doc:"Crash rounds.") in
   Cmd.v (Cmd.info "crash" ~doc) Term.(const run_crash $ rounds_arg)
 
+(* ---------- crashmc: systematic crash-state model checking ---------- *)
+
+let crashmc_suts name =
+  match name with
+  | "all" -> Ok Crashmc.Sut.all
+  | s -> (
+      match Crashmc.Sut.of_string s with
+      | Some k -> Ok [ k ]
+      | None -> Error ("unknown index: " ^ s))
+
+let run_crashmc index_name ops budget max_states seed workload mutate =
+  let seed =
+    match Des.Rng.env_seed ~default:(Int64.of_int seed) with
+    | s -> Int64.to_int s
+    | exception Invalid_argument msg ->
+        prerr_endline msg;
+        exit 2
+  in
+  if not (List.mem workload [ "insert"; "mixed" ]) then begin
+    prerr_endline ("unknown workload: " ^ workload ^ " (expected insert or mixed)");
+    exit 2
+  end;
+  match crashmc_suts index_name with
+  | Error msg ->
+      prerr_endline msg;
+      exit 2
+  | Ok kinds ->
+      let make_ops () =
+        match workload with
+        | "insert" -> Crashmc.Harness.insert_workload ops
+        | "mixed" -> Crashmc.Harness.mixed_workload ~seed ops
+        | other -> Printf.ksprintf failwith "unknown workload %S" other
+      in
+      let failed = ref false in
+      List.iter
+        (fun kind ->
+          let sut = Crashmc.Sut.make kind in
+          let r =
+            Crashmc.Harness.run ~budget_per_point:budget ~max_states ~seed ~sut
+              ~ops:(make_ops ()) ()
+          in
+          Format.printf "%a@." Crashmc.Harness.pp_report r;
+          if not (Crashmc.Harness.ok r) then begin
+            failed := true;
+            Format.printf "  seed %d (override with PACTREE_SEED)@." seed
+          end)
+        kinds;
+      (* Mutation mode: drop one clwb late in the run and demand the
+         checker notices — proof the oracle has teeth. *)
+      if mutate then
+        List.iter
+          (fun kind ->
+            let killed = ref 0 and tried = ref 0 in
+            let k = ref 1 in
+            while !tried < 6 do
+              incr tried;
+              let sut = Crashmc.Sut.make kind in
+              Nvm.Machine.set_flush_fault (Crashmc.Sut.machine sut) (Some !k);
+              let r =
+                Crashmc.Harness.run ~budget_per_point:budget ~max_states ~seed
+                  ~max_violations:1 ~sut ~ops:(make_ops ()) ()
+              in
+              if not (Crashmc.Harness.ok r) then incr killed;
+              k := !k * 3
+            done;
+            Format.printf "%s mutation check: %d/%d dropped-clwb mutants caught@."
+              (Crashmc.Sut.name kind) !killed !tried;
+            if !killed = 0 then begin
+              Format.printf "  no mutant caught — checker has no teeth? seed %d@." seed;
+              failed := true
+            end)
+          kinds;
+      if !failed then exit 1
+
+let crashmc_cmd =
+  let doc =
+    "Systematic crash-state model checking: enumerate every crash image an op \
+     trace allows under ADR semantics, recover each, check durable \
+     linearizability."
+  in
+  let index_arg =
+    Arg.(
+      value & opt string "all"
+      & info [ "index" ] ~docv:"INDEX"
+          ~doc:"Index to check: pactree, pdlart, fastfair, bztree, fptree, all.")
+  in
+  let ops_arg =
+    Arg.(value & opt int 48 & info [ "ops" ] ~doc:"Operations in the recorded trace.")
+  in
+  let budget_arg =
+    Arg.(
+      value & opt int 48
+      & info [ "budget" ] ~doc:"Max crash images enumerated per crash point.")
+  in
+  let max_states_arg =
+    Arg.(
+      value & opt int 20_000
+      & info [ "max-states" ] ~doc:"Total crash-state cap per index.")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "seed" ] ~doc:"Workload/enumeration seed (PACTREE_SEED overrides).")
+  in
+  let workload_arg =
+    Arg.(
+      value & opt string "mixed"
+      & info [ "workload" ] ~doc:"Trace shape: insert (split-heavy) or mixed.")
+  in
+  let mutate_arg =
+    Arg.(
+      value & flag
+      & info [ "mutate" ]
+          ~doc:"Also run dropped-clwb mutants and require the checker to catch one.")
+  in
+  Cmd.v
+    (Cmd.info "crashmc" ~doc)
+    Term.(
+      const run_crashmc $ index_arg $ ops_arg $ budget_arg $ max_states_arg
+      $ seed_arg $ workload_arg $ mutate_arg)
+
 let () =
   let doc = "PACTree (SOSP'21) reproduction benchmarks on a simulated NVM machine." in
   let info = Cmd.info "pactree_bench" ~doc in
-  exit (Cmd.eval (Cmd.group info [ ycsb_cmd; figure_cmd; crash_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ ycsb_cmd; figure_cmd; crash_cmd; crashmc_cmd ]))

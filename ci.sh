@@ -1,0 +1,7 @@
+#!/bin/sh
+# Continuous-integration entry point: build, full test suite, quick
+# bench smoke (fig2 + sec6_8) and a bounded crashmc sweep, via the
+# dune @ci alias (see the root dune file).  Any failure fails the run.
+set -eu
+cd "$(dirname "$0")"
+exec dune build @ci "$@"

@@ -539,6 +539,33 @@ let scan t key n_wanted =
 
 let consolidations t = t.consolidations
 
+(* Post-crash recovery: replay the allocator log, roll interrupted
+   PMwCAS descriptors forward/back, then walk the reachable tree and
+   unfreeze any node whose freeze never published a replacement — the
+   crash interrupted the SMO before the CoW result was durable, so the
+   freeze is rolled back (writers would otherwise spin forever on a
+   forward that will never come).  Frozen nodes *with* a replacement
+   keep forwarding, exactly as live readers expect. *)
+let recover t =
+  Heap.recover t.heap;
+  ignore (Pmwcas.recover ~desc_pool:t.meta ~desc_base:64 : int);
+  let rec walk ptr =
+    let n = node_of ptr in
+    let s = status n in
+    if is_frozen s && Pptr.is_null (replacement n) then begin
+      Pool.write_int n.pool (n.off + off_status) (s land lnot frozen_bit);
+      Pool.persist n.pool (n.off + off_status) 8
+    end;
+    let n, s = resolve n in
+    if not (is_leaf s) then begin
+      walk (leftmost n);
+      for i = 0 to count_of s - 1 do
+        walk (val_at n i)
+      done
+    end
+  in
+  walk (Pool.read_int t.meta 0)
+
 let check_invariants t =
   (* walk the leaf chain from the leftmost leaf; the concatenation of
      per-leaf sorted live keys must be globally sorted *)

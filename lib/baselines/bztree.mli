@@ -28,6 +28,11 @@ val scan : t -> Pactree.Key.t -> int -> (Pactree.Key.t * int) list
 (** Number of freeze+consolidate/split operations so far. *)
 val consolidations : t -> int
 
+(** Post-crash recovery: allocator log replay, PMwCAS descriptor
+    replay, and roll-back of freezes that lost their replacement
+    pointer. *)
+val recover : t -> unit
+
 (** Walks the (forwarding-resolved) leaf chain checking order; returns
     the key count. *)
 val check_invariants : t -> int

@@ -214,31 +214,75 @@ let lookup t key =
 
 (* ---------- writes ---------- *)
 
-(* Shift records right from slot [i], persist the touched range, and
-   place (krep, v) at [i] — FastFair's sorted in-place insert. *)
+(* A record is written as a single 16-byte store: nodes are 64-byte
+   aligned and records 16-byte aligned, so a record never straddles a
+   cache line and the pair travels torn-free (both words in one
+   line-granularity event — the 8-byte-ordered-store discipline of the
+   real system collapsed to one store in the line-level crash model). *)
+let record_bytes krep v =
+  let b = Bytes.create 16 in
+  Bytes.set_int64_le b 0 krep;
+  Bytes.set_int64_le b 8 (Int64.of_int v);
+  Bytes.unsafe_to_string b
+
+let set_record n i krep v = Pool.write_string n.pool (rec_off n i) (record_bytes krep v)
+
+let copy_record n ~src ~dst =
+  Pool.write_string n.pool (rec_off n dst) (Pool.read_string n.pool (rec_off n src) 16)
+
+let line_of n i = rec_off n i / 64
+
+(* FastFair's failure-atomic shift (FAST, paper §2.2.1): grow the
+   array by duplicating the last record (fence), publish the grown
+   count (fence), then shift right-to-left one cache line at a time
+   with a fence at each line boundary, and finally install the new
+   record (fence).  Every crash cut leaves the old sorted records with
+   at most one adjacent duplicate window — no key is ever lost and no
+   garbage slot is ever visible; {!recover} drops the duplicates.
+   Concurrent readers never see the intermediate states (the node is
+   locked; optimistic readers re-validate and restart). *)
 let insert_at t n i krep v =
   ignore t;
   let c = count n in
-  for j = c downto i + 1 do
-    Pool.write_int64 n.pool (rec_off n j) (krep_at n (j - 1));
-    Pool.write_int n.pool (rec_off n j + 8) (val_at n (j - 1))
-  done;
-  Pool.write_int64 n.pool (rec_off n i) krep;
-  Pool.write_int n.pool (rec_off n i + 8) v;
-  Pool.flush_range n.pool (rec_off n i) ((c - i + 1) * 16);
-  Pool.fence n.pool;
-  set_count n (c + 1);
-  Pool.persist n.pool (n.off + off_count) 2
+  if i < c then begin
+    copy_record n ~src:(c - 1) ~dst:c;
+    Pool.persist n.pool (rec_off n c) 16;
+    set_count n (c + 1);
+    Pool.persist n.pool (n.off + off_count) 2;
+    for j = c - 1 downto i + 1 do
+      copy_record n ~src:(j - 1) ~dst:j;
+      if line_of n (j - 1) <> line_of n j then begin
+        Pool.clwb n.pool (rec_off n j);
+        Pool.fence n.pool
+      end
+    done;
+    set_record n i krep v;
+    Pool.clwb n.pool (rec_off n i);
+    Pool.fence n.pool
+  end
+  else begin
+    (* append: record durable before the count makes it visible *)
+    set_record n i krep v;
+    Pool.persist n.pool (rec_off n i) 16;
+    set_count n (c + 1);
+    Pool.persist n.pool (n.off + off_count) 2
+  end
 
+(* Mirror image of [insert_at]: shift left-to-right with per-line
+   fences (transient adjacent duplicate, never a lost or garbage
+   record), then shrink the count. *)
 let remove_at t n i =
   ignore t;
   let c = count n in
   for j = i to c - 2 do
-    Pool.write_int64 n.pool (rec_off n j) (krep_at n (j + 1));
-    Pool.write_int n.pool (rec_off n j + 8) (val_at n (j + 1))
+    copy_record n ~src:(j + 1) ~dst:j;
+    if line_of n (j + 1) <> line_of n j then begin
+      Pool.clwb n.pool (rec_off n j);
+      Pool.fence n.pool
+    end
   done;
   if c - 1 > i then begin
-    Pool.flush_range n.pool (rec_off n i) ((c - 1 - i) * 16);
+    Pool.clwb n.pool (rec_off n (c - 2));
     Pool.fence n.pool
   end;
   set_count n (c - 1);
@@ -518,6 +562,91 @@ let scan t key n_wanted =
   let leaf, h, v = find_leaf ~at_root:true (root t) in
   walk leaf h v ~first:true;
   List.rev !acc
+
+(* ---------- recovery ---------- *)
+
+(* Post-crash recovery, logless as in the paper: replay the allocator
+   log, then repair the leaf chain in one pass — re-initialise every
+   leaf lock (a crash image can capture a held lock word), drop the
+   duplicate records an interrupted FAST shift leaves behind and the
+   cross-node duplicate window of a split caught between sibling-link
+   and count-truncate (all duplicates are exact copies of a record
+   that is kept, so nothing acknowledged is lost) — and finally
+   rebuild the internal layer from the repaired leaf chain, installing
+   a fresh root.  Old internal nodes are abandoned; an interrupted SMO
+   that had not yet inserted its parent separator is thereby completed
+   rather than unwound. *)
+let recover t =
+  Heap.recover t.heap;
+  let cmp_krep a b =
+    if t.string_keys then Key.compare (key_of_krep t a) (key_of_krep t b)
+    else Int64.unsigned_compare a b
+  in
+  let rec leftmost_leaf n =
+    if is_leaf n then n else leftmost_leaf (node_of (leftmost n))
+  in
+  let first = leftmost_leaf (root t) in
+  (* Pass 1: leaf repair.  Keep records in strictly increasing global
+     key order; rewrite nodes that shrank. *)
+  let leaves = ref [] in
+  let last = ref None in
+  let rec walk n =
+    Vlock.init (lockh n) ~gen;
+    let c = count n in
+    let keep = ref [] and kept = ref 0 in
+    for i = 0 to c - 1 do
+      let kr = krep_at n i in
+      let ok = match !last with None -> true | Some l -> cmp_krep kr l > 0 in
+      if ok then begin
+        keep := (kr, val_at n i) :: !keep;
+        incr kept;
+        last := Some kr
+      end
+    done;
+    if !kept <> c then begin
+      List.iteri (fun i (kr, v) -> set_record n i kr v) (List.rev !keep);
+      set_count n !kept;
+      Pool.persist n.pool n.off node_size
+    end;
+    (match List.rev !keep with
+    | (kr0, _) :: _ -> leaves := (kr0, to_ptr n) :: !leaves
+    | [] -> ());
+    let nxt = next n in
+    if not (Pptr.is_null nxt) then walk (node_of nxt)
+  in
+  walk first;
+  (* Pass 2: rebuild the internal layer bottom-up over the non-empty
+     leaves; the separator for a child is its subtree's smallest key. *)
+  let chunk l =
+    let rec go acc cur cnt = function
+      | [] -> List.rev (List.rev cur :: acc)
+      | x :: tl ->
+          if cnt = cap then go (List.rev cur :: acc) [ x ] 1 tl
+          else go acc (x :: cur) (cnt + 1) tl
+    in
+    go [] [] 0 l
+  in
+  let build_internal group =
+    let n, ptr = alloc_node t ~leaf:false in
+    (match group with
+    | (kr0, p0) :: rest ->
+        Pool.write_int n.pool (n.off + off_leftmost) p0;
+        List.iteri (fun i (kr, p) -> set_record n i kr p) rest;
+        set_count n (List.length rest);
+        Pool.persist n.pool n.off node_size;
+        (kr0, ptr)
+    | [] -> assert false)
+  in
+  let rec build level =
+    match level with
+    | [ (_, ptr) ] -> ptr
+    | _ -> build (List.map build_internal (chunk level))
+  in
+  let new_root =
+    match List.rev !leaves with [] -> to_ptr first | level -> build level
+  in
+  Pool.write_int t.meta 0 new_root;
+  Pool.persist t.meta 0 8
 
 (* ---------- invariant check (tests) ---------- *)
 

@@ -27,6 +27,12 @@ val delete : t -> Pactree.Key.t -> bool
 
 val scan : t -> Pactree.Key.t -> int -> (Pactree.Key.t * int) list
 
+(** Post-crash recovery: allocator log replay, leaf-lock
+    re-initialisation, leaf-chain repair (duplicate windows left by an
+    interrupted failure-atomic shift or split), and a rebuild of the
+    internal layer from the leaf chain. *)
+val recover : t -> unit
+
 (** Walks the leaf chain checking global sorted order; returns the key
     count. *)
 val check_invariants : t -> int

@@ -258,6 +258,30 @@ let recover t =
   Pool.write_int t.meta off_gen gen;
   Pool.persist t.meta off_gen 8;
   t.gen <- gen;
+  (* Split micro-log replay: a crash after the new leaf was linked but
+     before the moved slots were cleared leaves the moved records live
+     in both leaves.  Re-clear every slot of the logged leaf at or
+     above its successor's anchor.  If the crash hit before the link,
+     the successor (if any) is a pre-existing right sibling whose
+     anchor exceeds every key in the logged leaf, so this is a no-op
+     (the allocated-but-unlinked leaf leaks, which is benign). *)
+  let logged = Pool.read_int t.meta off_log in
+  if logged <> 0 then begin
+    let old_leaf = Node.of_ptr logged in
+    let nxt = Node.next old_leaf in
+    if not (Pptr.is_null nxt) then begin
+      let nleaf = Node.of_ptr nxt in
+      let stale =
+        List.filter_map
+          (fun (k, slot) ->
+            if Node.compare_anchor nleaf k <= 0 then Some slot else None)
+          (Node.sorted_live t.lay old_leaf)
+      in
+      if stale <> [] then Node.clear_slots old_leaf stale
+    end;
+    Pool.write_int t.meta off_log 0;
+    Pool.persist t.meta off_log 8
+  end;
   t.internals <- Smap.empty;
   t.cardinal_estimate <- 0;
   let rec walk ptr =

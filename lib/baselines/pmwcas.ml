@@ -7,6 +7,15 @@
    and the descriptor status is finalised and persisted.  We charge
    exactly that traffic against a per-thread descriptor area.
 
+   The three-phase protocol is modelled faithfully enough to be
+   crash-recoverable (lib/crashmc exercises it): the descriptor
+   persists the target pointers and desired values plus a status word
+   that moves undecided -> succeeded -> done, with the succeeded flip
+   persisted *before* any target word is installed.  {!recover} rolls
+   an interrupted succeeded descriptor forward (reinstalling every
+   desired value) and an undecided one back (nothing was installed
+   yet), which is exactly the real primitive's recovery rule.
+
    Atomicity in the simulator: a striped volatile mutex serialises
    PMwCAS executions whose first target word collides; BzTree always
    names the owning node's status word first, so operations on the
@@ -14,6 +23,7 @@
    mirroring the real primitive's per-word contention behaviour. *)
 
 module Pool = Nvm.Pool
+module Pptr = Pmalloc.Pptr
 
 type target = { pool : Pool.t; off : int; expected : int; desired : int }
 
@@ -21,12 +31,22 @@ let stripes = Array.init 1024 (fun _ -> Des.Sync.Mutex.create ())
 
 let stripe_of tgt = (Pool.id tgt.pool * 8191) + (tgt.off lsr 3) land 1023
 
-(* Per-thread descriptor slots in a caller-provided pool. *)
+(* Per-thread descriptor slots in a caller-provided pool: a 16-byte
+   header (status word: state in bits 0-3, word count in bits 8+)
+   followed by up to 7 (pptr, desired) entry pairs. *)
 let descriptor_size = 128
 
-let region_size = 256 * descriptor_size
+let slots = 256
 
-let desc_off base = base + ((Des.Sched.current_id () land 255) * descriptor_size)
+let region_size = slots * descriptor_size
+
+let max_targets = 7
+
+let st_undecided = 1
+
+let st_succeeded = 2
+
+let desc_off base = base + ((Des.Sched.current_id () land (slots - 1)) * descriptor_size)
 
 type stats = { mutable attempts : int; mutable failures : int }
 
@@ -36,32 +56,37 @@ let stats = { attempts = 0; failures = 0 }
    target still held its expected value; on success all desired values
    are stored and persisted. *)
 let execute ~desc_pool ~desc_base targets =
-  assert (targets <> []);
+  assert (targets <> [] && List.length targets <= max_targets);
   stats.attempts <- stats.attempts + 1;
   let first = List.hd targets in
   let mutex = stripes.(stripe_of first land 1023) in
   Des.Sync.Mutex.with_lock mutex @@ fun () ->
-  (* 1. Write and persist the descriptor (status + per-word triples;
-     we model the traffic with one line per 2 words). *)
+  (* 1. Write and persist the descriptor. *)
   let doff = desc_off desc_base in
+  let n = List.length targets in
   List.iteri
     (fun i tgt ->
-      let entry = doff + (i mod 7 * 16) in
-      Pool.write_int desc_pool entry tgt.off;
+      let entry = doff + 16 + (i * 16) in
+      Pool.write_int desc_pool entry (Pptr.make ~pool:(Pool.id tgt.pool) ~off:tgt.off);
       Pool.write_int desc_pool (entry + 8) tgt.desired)
     targets;
+  Pool.write_int desc_pool doff (st_undecided lor (n lsl 8));
   Pool.persist desc_pool doff descriptor_size;
-  (* 2. Install phase: validate + mark each word (a CAS with persist
-     per word in the real protocol). *)
+  (* 2. Install phase: validate, persist the success verdict, then
+     install each word (a CAS with persist per word in the real
+     protocol).  The verdict must be durable before the first install
+     so recovery can tell a partial install from a no-op. *)
   let ok = List.for_all (fun tgt -> Pool.read_int tgt.pool tgt.off = tgt.expected) targets in
   if ok then begin
+    Pool.write_int desc_pool doff (st_succeeded lor (n lsl 8));
+    Pool.persist desc_pool doff 8;
     List.iter
       (fun tgt ->
         Pool.write_int tgt.pool tgt.off tgt.desired;
         Pool.clwb tgt.pool tgt.off)
       targets;
-    (match targets with t0 :: _ -> Pool.fence t0.pool | [] -> ());
-    (* 3. Finalise: persist the descriptor status, then clean up. *)
+    Pool.fence first.pool;
+    (* 3. Finalise. *)
     Pool.write_int desc_pool doff 0;
     Pool.persist desc_pool doff 8
   end
@@ -72,3 +97,32 @@ let execute ~desc_pool ~desc_base targets =
     Pool.persist desc_pool doff 8
   end;
   ok
+
+(* Post-crash descriptor replay.  Succeeded-but-unfinalised
+   descriptors are rolled forward (every desired value reinstalled —
+   idempotent: each target word holds either its expected or its
+   desired value); undecided ones are dropped (the success verdict is
+   durable before any install, so nothing was written yet). *)
+let recover ~desc_pool ~desc_base =
+  let replayed = ref 0 in
+  for slot = 0 to slots - 1 do
+    let doff = desc_base + (slot * descriptor_size) in
+    let s = Pool.read_int desc_pool doff in
+    if s <> 0 then begin
+      if s land 0xF = st_succeeded then begin
+        incr replayed;
+        let n = s lsr 8 in
+        for i = 0 to n - 1 do
+          let entry = doff + 16 + (i * 16) in
+          let ptr = Pool.read_int desc_pool entry in
+          let desired = Pool.read_int desc_pool (entry + 8) in
+          let pool = Pmalloc.Registry.resolve ptr in
+          Pool.write_int pool (Pptr.off ptr) desired;
+          Pool.persist pool (Pptr.off ptr) 8
+        done
+      end;
+      Pool.write_int desc_pool doff 0;
+      Pool.persist desc_pool doff 8
+    end
+  done;
+  !replayed

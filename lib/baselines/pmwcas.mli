@@ -25,3 +25,8 @@ val region_size : int
     stored and persisted.  [targets] must be non-empty; operations
     whose first target words collide serialise. *)
 val execute : desc_pool:Nvm.Pool.t -> desc_base:int -> target list -> bool
+
+(** Post-crash descriptor replay: rolls succeeded-but-unfinalised
+    descriptors forward (reinstalls every desired value) and undecided
+    ones back.  Returns the number replayed. *)
+val recover : desc_pool:Nvm.Pool.t -> desc_base:int -> int

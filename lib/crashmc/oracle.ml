@@ -1,0 +1,129 @@
+module Key = Pactree.Key
+module Index = Baselines.Index_intf
+
+module KMap = Map.Make (struct
+  type t = Key.t
+
+  let compare = Key.compare
+end)
+
+type op = Insert of Key.t * int | Delete of Key.t
+
+type entry = { op : op; start_seq : int; end_seq : int }
+
+type history = entry list
+
+let op_key = function Insert (k, _) -> k | Delete k -> k
+
+let run_op index = function
+  | Insert (k, v) -> Index.insert index k v
+  | Delete k -> ignore (Index.delete index k)
+
+let apply map = function
+  | Insert (k, v) -> KMap.add k v map
+  | Delete k -> KMap.remove k map
+
+(* State of the acknowledged history at a crash before trace event
+   [at]: ops whose last persistence event precedes the crash point are
+   decided (their effect must survive — the persistent state is
+   indistinguishable from one where the op returned and was
+   acknowledged); at most one op spans the point and is in flight (it
+   may or may not have taken effect); later ops never started. *)
+let split_at history ~at =
+  let rec go decided universe = function
+    | [] -> (decided, None, universe)
+    | e :: rest ->
+        if e.end_seq <= at then
+          go (apply decided e.op) (KMap.add (op_key e.op) () universe) rest
+        else if e.start_seq < at then (decided, Some e.op, universe)
+        else (decided, None, universe)
+  in
+  go KMap.empty KMap.empty history
+
+let pp_value = function Some v -> string_of_int v | None -> "absent"
+
+let check ~history ~at ~lookup ~scan ~invariants =
+  let violations = ref [] in
+  let fail fmt = Printf.ksprintf (fun s -> violations := s :: !violations) fmt in
+  (try invariants ()
+   with exn -> fail "invariant check failed: %s" (Printexc.to_string exn));
+  let decided, inflight, universe = split_at history ~at in
+  let allowed k =
+    let base = KMap.find_opt k decided in
+    match inflight with
+    | Some (Insert (k', v')) when Key.equal k k' -> [ base; Some v' ]
+    | Some (Delete k') when Key.equal k k' -> [ base; None ]
+    | _ -> [ base ]
+  in
+  let check_key k =
+    let want = allowed k in
+    match lookup k with
+    | got ->
+        if not (List.mem got want) then
+          fail "key %a: lookup %s, expected one of {%s}"
+            (fun () k -> Format.asprintf "%a" Key.pp k)
+            k (pp_value got)
+            (String.concat ", " (List.map pp_value want))
+    | exception exn ->
+        fail "key %a: lookup raised %s"
+          (fun () k -> Format.asprintf "%a" Key.pp k)
+          k (Printexc.to_string exn)
+  in
+  KMap.iter (fun k () -> check_key k) universe;
+  (match inflight with
+  | Some op when not (KMap.mem (op_key op) universe) -> check_key (op_key op)
+  | _ -> ());
+  (* Range scan: complete, duplicate-free, sorted, no phantoms. *)
+  let scan_from =
+    match (KMap.min_binding_opt universe, inflight) with
+    | Some (k, ()), Some op when Key.compare (op_key op) k < 0 -> Some (op_key op)
+    | Some (k, ()), _ -> Some k
+    | None, Some op -> Some (op_key op)
+    | None, None -> None
+  in
+  (match scan_from with
+  | None -> ()
+  | Some from -> (
+      let wanted = KMap.cardinal decided + 2 in
+      match scan from wanted with
+      | results ->
+          let rec sorted = function
+            | (a, _) :: ((b, _) :: _ as rest) ->
+                if Key.compare a b >= 0 then
+                  fail "scan not strictly sorted at %a" (fun () k ->
+                      Format.asprintf "%a" Key.pp k)
+                    b;
+                sorted rest
+            | _ -> ()
+          in
+          sorted results;
+          List.iter
+            (fun (k, v) ->
+              let want = allowed k in
+              if not (List.exists (function Some _ as w -> w = Some v | None -> false) want)
+              then
+                if want = [ None ] then
+                  fail "scan: phantom key %a" (fun () k ->
+                      Format.asprintf "%a" Key.pp k)
+                    k
+                else
+                  fail "scan: key %a has value %d, expected one of {%s}"
+                    (fun () k -> Format.asprintf "%a" Key.pp k)
+                    k v
+                    (String.concat ", " (List.map pp_value want)))
+            results;
+          let seen = List.fold_left (fun m (k, _) -> KMap.add k () m) KMap.empty results in
+          KMap.iter
+            (fun k _ ->
+              let may_be_absent =
+                match inflight with
+                | Some (Delete k') -> Key.equal k k'
+                | _ -> false
+              in
+              if (not may_be_absent) && not (KMap.mem k seen) then
+                fail "scan: acknowledged key %a missing" (fun () k ->
+                    Format.asprintf "%a" Key.pp k)
+                  k)
+            decided
+      | exception exn -> fail "scan raised %s" (Printexc.to_string exn)));
+  List.rev !violations

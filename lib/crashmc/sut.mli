@@ -1,0 +1,35 @@
+(** Systems under test.
+
+    Bundles each index with the machine it lives on and the three
+    hooks the harness needs: [recover] (rebuild volatile state from a
+    restored image), [invariants] (the index's own structural
+    checker), and [quiesce] (run before enumeration: complete
+    background work — SMO drain, epoch-deferred frees — so no stale
+    closure from the recorded run fires on a restored image). *)
+
+type kind = Pactree | Pdlart | Fastfair | Bztree | Fptree
+
+val all : kind list
+
+val name : kind -> string
+
+val of_string : string -> kind option
+
+type t
+
+(** [make kind] builds the index on a fresh single-socket machine.
+    [capacity] is bytes per persistent pool — keep it small; every
+    materialized crash state blits the full image. *)
+val make : ?capacity:int -> kind -> t
+
+val kind : t -> kind
+
+val machine : t -> Nvm.Machine.t
+
+val index : t -> Baselines.Index_intf.index
+
+val recover : t -> unit
+
+val invariants : t -> unit
+
+val quiesce : t -> unit

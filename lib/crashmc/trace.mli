@@ -1,0 +1,29 @@
+(** Persist-trace recorder.
+
+    Hooks into {!Nvm.Machine}'s tracer and logs every store, [clwb],
+    fence and eADR drain with its cache line and data, together with a
+    snapshot of every pool's media image at recording start.  The
+    resulting trace is a complete, self-contained description of the
+    machine's persistence behaviour over a run: {!Enum} replays it to
+    enumerate reachable crash images. *)
+
+type t
+
+(** Snapshot all pool media images and install the tracer.  Recording
+    is per-machine; only one recorder should be active at a time. *)
+val start : Nvm.Machine.t -> t
+
+(** Detach the tracer.  The trace stays readable. *)
+val stop : t -> unit
+
+val machine : t -> Nvm.Machine.t
+
+(** Events recorded so far — the op-boundary cursor used by the
+    durable-linearizability oracle. *)
+val seq : t -> int
+
+val events : t -> Nvm.Machine.trace_event array
+
+(** Media image of a pool at {!start} ([None]: created later, or
+    volatile — both mean an all-zero base). *)
+val base_media : t -> int -> Bytes.t option

@@ -24,3 +24,14 @@ let float t =
   Int64.to_float bits *. (1.0 /. 9007199254740992.0)
 
 let bool t = Int64.logand (next t) 1L = 1L
+
+(* Seed override for stochastic test suites: [PACTREE_SEED=n] rides
+   over the baked-in default so a failure printed with its seed can be
+   replayed exactly. *)
+let env_seed ~default =
+  match Sys.getenv_opt "PACTREE_SEED" with
+  | None | Some "" -> default
+  | Some s -> (
+      match Int64.of_string_opt s with
+      | Some v -> v
+      | None -> invalid_arg (Printf.sprintf "PACTREE_SEED=%S is not an integer" s))

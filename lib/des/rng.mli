@@ -22,3 +22,9 @@ val float : t -> float
 
 (** [bool t] is a fair coin flip. *)
 val bool : t -> bool
+
+(** [env_seed ~default] reads a seed override from the [PACTREE_SEED]
+    environment variable (decimal or 0x-prefixed), falling back to
+    [default].  Stochastic suites use it so any failure, printed with
+    its seed, can be replayed exactly. *)
+val env_seed : default:int64 -> int64

@@ -394,7 +394,8 @@ let sec6_8 scale =
     }
   in
   let t = Tree.create machine ~cfg () in
-  let rng = Des.Rng.create ~seed:0xC4A5FL in
+  let seed = Des.Rng.env_seed ~default:0xC4A5FL in
+  let rng = Des.Rng.create ~seed in
   let acked : (int, int) Hashtbl.t = Hashtbl.create 4096 in
   let failures = ref 0 in
   for round = 1 to rounds do
@@ -437,4 +438,6 @@ let sec6_8 scale =
     Tree.reset_shutdown t
   done;
   printf "%d/%d crash rounds recovered correctly, %d failures@." (rounds - !failures)
-    rounds !failures
+    rounds !failures;
+  if !failures > 0 then
+    printf "seed %Ld (override with PACTREE_SEED to replay)@." seed

@@ -7,6 +7,21 @@ type staged = {
   apply : unit -> unit;
 }
 
+type trace_event =
+  | Ev_store of { pool : int; line : int; data : string }
+  | Ev_clwb of { tid : int; pool : int; line : int; data : string }
+  | Ev_fence of { tid : int }
+  | Ev_drain of { pool : int; line : int; data : string }
+
+type pool_view = {
+  pv_id : int;
+  pv_name : string;
+  pv_capacity : int;
+  pv_volatile : bool;
+  pv_media : unit -> Bytes.t;
+  pv_restore : Bytes.t -> unit;
+}
+
 type t = {
   profile : Config.profile;
   protocol : Config.protocol;
@@ -17,6 +32,10 @@ type t = {
   stats : Stats.t;
   mutable next_pool_id : int;
   mutable crash_hooks : (crash_mode -> unit) list;
+  mutable tracer : (trace_event -> unit) option;
+  mutable pool_views : pool_view list; (* reversed creation order *)
+  mutable flush_fault : int option; (* drop the k-th clwb since set *)
+  mutable flush_seen : int;
 }
 
 let create ?(profile = Config.dcpmm) ?(protocol = Config.Snoop) ~numa_count () =
@@ -31,7 +50,31 @@ let create ?(profile = Config.dcpmm) ?(protocol = Config.Snoop) ~numa_count () =
     stats = Stats.create ();
     next_pool_id = 0;
     crash_hooks = [];
+    tracer = None;
+    pool_views = [];
+    flush_fault = None;
+    flush_seen = 0;
   }
+
+let set_tracer t f = t.tracer <- f
+
+let tracer t = t.tracer
+
+let register_pool_view t pv = t.pool_views <- pv :: t.pool_views
+
+let pool_views t = List.rev t.pool_views
+
+let set_flush_fault t k =
+  t.flush_fault <- k;
+  t.flush_seen <- 0
+
+let flush_faulted t =
+  match t.flush_fault with
+  | None -> false
+  | Some k ->
+      let n = t.flush_seen in
+      t.flush_seen <- n + 1;
+      n = k
 
 let profile t = t.profile
 
@@ -98,6 +141,9 @@ let fence t =
   t.stats.Stats.fences <- t.stats.Stats.fences + 1;
   Des.Sched.charge t.profile.Config.fence_base_cost;
   let tid = Des.Sched.current_id () in
+  (match t.tracer with
+  | Some emit -> emit (Ev_fence { tid })
+  | None -> ());
   match Hashtbl.find_opt t.staged tid with
   | None -> ()
   | Some r ->

@@ -62,6 +62,61 @@ val stage : t -> staged -> unit
 (** Register a callback run by {!crash}. *)
 val on_crash : t -> (crash_mode -> unit) -> unit
 
+(** {2 Persist tracing (crash-state model checking)}
+
+    When a tracer is installed, every program-visible persistence
+    event is reported with enough data to replay the ADR state
+    machine offline: stores carry the post-store content of the whole
+    64B line, [clwb]s the staged snapshot, fences the staging thread.
+    [lib/crashmc] enumerates, from such a trace, every crash image
+    consistent with ADR semantics (fenced lines must survive; dirty or
+    flushed-but-unfenced lines each survive with any of their
+    snapshots). *)
+
+type trace_event =
+  | Ev_store of { pool : int; line : int; data : string }
+      (** post-store content of the full 64B line *)
+  | Ev_clwb of { tid : int; pool : int; line : int; data : string }
+      (** line snapshot staged by thread [tid]; durable at its next fence *)
+  | Ev_fence of { tid : int }
+      (** applies [tid]'s staged snapshots to the media *)
+  | Ev_drain of { pool : int; line : int; data : string }
+      (** eADR background drain: durable immediately *)
+
+val set_tracer : t -> (trace_event -> unit) option -> unit
+
+val tracer : t -> (trace_event -> unit) option
+
+(** A type-cycle-free handle on a pool (Pool depends on Machine), used
+    by crashmc to snapshot and re-materialize media images. *)
+type pool_view = {
+  pv_id : int;
+  pv_name : string;
+  pv_capacity : int;
+  pv_volatile : bool;
+  pv_media : unit -> Bytes.t;  (** copy of the current media image *)
+  pv_restore : Bytes.t -> unit;
+      (** install a media image; cache := media, dirty bits cleared.
+          Volatile pools ignore the argument and zero their cache. *)
+}
+
+val register_pool_view : t -> pool_view -> unit
+
+(** All pools of this machine, in creation order. *)
+val pool_views : t -> pool_view list
+
+(** {2 Fault injection (checker self-tests)} *)
+
+(** [set_flush_fault t (Some k)] silently drops the [k]-th (0-based)
+    subsequent [clwb] on this machine — a missing-flush mutation used
+    to prove the crash checker catches persistence bugs.  [None]
+    disables and resets the counter. *)
+val set_flush_fault : t -> int option -> unit
+
+(** Consumes one clwb tick; [true] iff this clwb must be dropped.
+    (Called by {!Pool.clwb}.) *)
+val flush_faulted : t -> bool
+
 (** {2 Program-visible operations} *)
 
 (** Store fence: drains the calling thread's staged flushes through

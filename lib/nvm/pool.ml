@@ -32,6 +32,26 @@ let create machine ?(volatile = false) ~name ~numa ~capacity () =
       capacity;
     }
   in
+  Machine.register_pool_view machine
+    {
+      Machine.pv_id = pool.id;
+      pv_name = name;
+      pv_capacity = capacity;
+      pv_volatile = volatile;
+      pv_media = (fun () -> Bytes.copy pool.media);
+      pv_restore =
+        (fun img ->
+          if volatile then Bytes.fill pool.cache 0 capacity '\000'
+          else begin
+            if Bytes.length img <> capacity then
+              invalid_arg
+                (Printf.sprintf "Pool %s: restore image %d bytes, capacity %d"
+                   name (Bytes.length img) capacity);
+            Bytes.blit img 0 pool.media 0 capacity;
+            Bytes.blit img 0 pool.cache 0 capacity
+          end;
+          Bytes.fill pool.dirty 0 (Bytes.length pool.dirty) '\000');
+    };
   let on_crash mode =
     if volatile then Bytes.fill pool.cache 0 capacity '\000'
     else begin
@@ -121,13 +141,33 @@ let touch_range_write t off len =
     mark_dirty t (line lsl 6)
   done
 
+(* Report the post-store content of every line under [off, off+len) to
+   the machine's tracer (no-op unless crashmc is recording). *)
+let trace_store t off len =
+  match Machine.tracer t.machine with
+  | None -> ()
+  | Some emit ->
+      if not t.volatile && len > 0 then begin
+        let first = off lsr 6 and last = (off + len - 1) lsr 6 in
+        for line = first to last do
+          emit
+            (Machine.Ev_store
+               {
+                 pool = t.id;
+                 line;
+                 data = Bytes.sub_string t.cache (line * line_size) line_size;
+               })
+        done
+      end
+
 let read_u8 t off =
   touch_range t off 1;
   Bytes.get_uint8 t.cache off
 
 let write_u8 t off v =
   touch_range_write t off 1;
-  Bytes.set_uint8 t.cache off v
+  Bytes.set_uint8 t.cache off v;
+  trace_store t off 1
 
 let read_u16 t off =
   touch_range t off 2;
@@ -135,7 +175,8 @@ let read_u16 t off =
 
 let write_u16 t off v =
   touch_range_write t off 2;
-  Bytes.set_uint16_le t.cache off v
+  Bytes.set_uint16_le t.cache off v;
+  trace_store t off 2
 
 let read_u32 t off =
   touch_range t off 4;
@@ -143,7 +184,8 @@ let read_u32 t off =
 
 let write_u32 t off v =
   touch_range_write t off 4;
-  Bytes.set_int32_le t.cache off (Int32.of_int v)
+  Bytes.set_int32_le t.cache off (Int32.of_int v);
+  trace_store t off 4
 
 let read_int64 t off =
   if off land 7 <> 0 then
@@ -155,7 +197,8 @@ let write_int64 t off v =
   if off land 7 <> 0 then
     invalid_arg (Printf.sprintf "Pool %s: unaligned 8B write at %d" t.name off);
   touch_range_write t off 8;
-  Bytes.set_int64_le t.cache off v
+  Bytes.set_int64_le t.cache off v;
+  trace_store t off 8
 
 let read_int t off = Int64.to_int (read_int64 t off)
 
@@ -169,7 +212,8 @@ let write_string t off s =
   let len = String.length s in
   if len > 0 then begin
     touch_range_write t off len;
-    Bytes.blit_string s 0 t.cache off len
+    Bytes.blit_string s 0 t.cache off len;
+    trace_store t off len
   end
 
 let blit_to_bytes t off buf pos len =
@@ -179,7 +223,8 @@ let blit_to_bytes t off buf pos len =
 let fill_zero t off len =
   if len > 0 then begin
     touch_range_write t off len;
-    Bytes.fill t.cache off len '\000'
+    Bytes.fill t.cache off len '\000';
+    trace_store t off len
   end
 
 let compare_string t off len s =
@@ -216,13 +261,23 @@ let eadr_drain t off =
   else ignore (Device.write t.dev ~now:0.0 ~xpline:(g lsr 2) ~bytes:64 ~from_numa:t.numa);
   let line = off lsr 6 in
   Bytes.blit t.cache (line * line_size) t.media (line * line_size) line_size;
-  clear_dirty t line
+  clear_dirty t line;
+  match Machine.tracer t.machine with
+  | Some emit ->
+      emit
+        (Machine.Ev_drain
+           {
+             pool = t.id;
+             line;
+             data = Bytes.sub_string t.media (line * line_size) line_size;
+           })
+  | None -> ()
 
 let clwb t off =
   if (Machine.profile t.machine).Config.eadr then begin
     if not t.volatile then eadr_drain t off
   end
-  else if not t.volatile then begin
+  else if (not t.volatile) && not (Machine.flush_faulted t.machine) then begin
     let stats = Machine.stats t.machine in
     stats.Stats.flushes <- stats.Stats.flushes + 1;
     let profile = Machine.profile t.machine in
@@ -236,6 +291,17 @@ let clwb t off =
     let g = gline t off in
     Machine.stage t.machine
       { Machine.pool_id = t.id; dev = t.dev; xpline = g lsr 2; apply };
+    (match Machine.tracer t.machine with
+    | Some emit ->
+        emit
+          (Machine.Ev_clwb
+             {
+               tid = Des.Sched.current_id ();
+               pool = t.id;
+               line;
+               data = Bytes.to_string snapshot;
+             })
+    | None -> ());
     (* Current-generation clwb invalidates the line (FH4). *)
     Machine.cache_invalidate t.machine g
   end
@@ -266,6 +332,7 @@ let cas_int t off ~expected v =
   let cur = Int64.to_int (Bytes.get_int64_le t.cache off) in
   if cur = expected then begin
     Bytes.set_int64_le t.cache off (Int64.of_int v);
+    trace_store t off 8;
     true
   end
   else false

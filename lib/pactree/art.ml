@@ -252,7 +252,16 @@ let child_list n =
           let p = read_child n ty i in
           go (if Pptr.is_null p then acc else (key4_16 n i, p) :: acc) (i - 1)
       in
-      List.sort (fun (a, _) (b, _) -> compare a b) (go [] (c - 1))
+      let sorted = List.sort (fun (a, _) (b, _) -> compare a b) (go [] (c - 1)) in
+      (* A crash during the in-place removal's hole compaction can
+         leave the last entry present twice (same byte, same pointer);
+         collapse such exact duplicates. *)
+      let rec dedup = function
+        | (a, p) :: (b, q) :: tl when a = b && p = q -> dedup ((a, p) :: tl)
+        | hd :: tl -> hd :: dedup tl
+        | [] -> []
+      in
+      dedup sorted
   | 2 ->
       let rec go acc b =
         if b < 0 then acc
@@ -646,11 +655,13 @@ let add_child_inplace n b ptr =
       let s = free_slot 0 in
       Pool.write_int n.pool (child_slot n ty s) ptr;
       persist n (child_slot n ty s) 8;
+      (* Index publish is the commit point; count persists in its own
+         epoch so a crash can only leave it high (early grow), never
+         low (free-slot scan overrun). *)
       Pool.write_u8 n.pool (n.off + n48_index + b) (s + 1);
-      Pool.clwb n.pool (n.off + n48_index + b);
+      persist n (n.off + n48_index + b) 1;
       set_count n (c + 1);
-      Pool.clwb n.pool (n.off + off_count);
-      Pool.fence n.pool
+      persist n (n.off + off_count) 2
   | _ ->
       Pool.write_int n.pool (child_slot n ty b) ptr;
       persist n (child_slot n ty b) 8;
@@ -811,26 +822,36 @@ let remove_child_inplace n b =
       let i = find 0 in
       let last = c - 1 in
       if i <> last then begin
+        (* Hole-punch protocol: compacting last into the hole rewrites
+           a *live* slot, so each store gets its own fence — a crash
+           between any two leaves a state readers handle (they skip
+           null children; [child_list] collapses the transient exact
+           duplicate of the last entry).  Writing key byte and pointer
+           under one fence is not failure-atomic: on a Node16 they sit
+           on different cache lines, and (new byte, old pointer) would
+           route the moved key to the deleted child. *)
+        Pool.write_int n.pool (child_slot n ty i) Pptr.null;
+        persist n (child_slot n ty i) 8;
         Pool.write_u8 n.pool (n.off + n4_keys + i) (key4_16 n last);
+        persist n (n.off + n4_keys + i) 1;
         Pool.write_int n.pool (child_slot n ty i) (read_child n ty last);
-        Pool.clwb n.pool (n.off + n4_keys + i);
-        Pool.clwb n.pool (child_slot n ty i);
-        Pool.fence n.pool
+        persist n (child_slot n ty i) 8
       end;
       set_count n last;
       persist n (n.off + off_count) 2
   | 2 ->
+      (* The index clear commits the removal; count follows in its own
+         epoch so it can only lag *high* — a low count would make the
+         in-place add's free-slot scan run past 48 used slots. *)
       Pool.write_u8 n.pool (n.off + n48_index + b) 0;
-      Pool.clwb n.pool (n.off + n48_index + b);
+      persist n (n.off + n48_index + b) 1;
       set_count n (c - 1);
-      Pool.clwb n.pool (n.off + off_count);
-      Pool.fence n.pool
+      persist n (n.off + off_count) 2
   | _ ->
       Pool.write_int n.pool (child_slot n ty b) Pptr.null;
-      Pool.clwb n.pool (child_slot n ty b);
-      set_count n (c - 1);
-      Pool.clwb n.pool (n.off + off_count);
-      Pool.fence n.pool
+      persist n (child_slot n ty b) 8;
+      set_count n (max 0 (c - 1));
+      persist n (n.off + off_count) 2
 
 let shrink_threshold = [| 0; 3; 12; 40 |]
 

@@ -5,8 +5,10 @@ let () =
       ("nvm", Test_nvm.suite);
       ("pmalloc", Test_pmalloc.suite);
       ("art", Test_art.suite);
+      ("pdlart_props", Test_pdlart_props.suite);
       ("data_node", Test_data_node.suite);
       ("crash_torture", Test_crash_torture.suite);
+      ("crashmc", Test_crashmc.suite);
       ("eadr", Test_eadr.suite);
       ("tree", Test_tree.suite);
       ("baselines", Test_baselines.suite);

@@ -8,6 +8,12 @@ module Tree = Pactree.Tree
 
 let ik = Key.of_int
 
+(* All stochastic choices below derive from this seed; export
+   PACTREE_SEED to replay a printed failure exactly. *)
+let base_seed = Des.Rng.env_seed ~default:0L
+
+let seed_of n = Int64.add base_seed (Int64.of_int n)
+
 let cfg =
   {
     Tree.default_config with
@@ -56,13 +62,14 @@ let test_flaky_probability_sweep () =
       for i = 0 to 1_999 do
         Tree.insert t (ik i) (i * 3)
       done;
-      let rng = Des.Rng.create ~seed:(Int64.of_int (run + 77)) in
+      let rng = Des.Rng.create ~seed:(seed_of (run + 77)) in
       Machine.crash machine (Machine.Flaky (p, rng));
       ignore (Tree.recover t);
       ignore (Tree.check_invariants t);
       for i = 0 to 1_999 do
         if Tree.lookup t (ik i) <> Some (i * 3) then
-          Alcotest.failf "flaky p=%.2f: key %d lost" p i
+          Alcotest.failf "flaky p=%.2f: key %d lost (base seed %Ld, PACTREE_SEED replays)"
+            p i base_seed
       done)
     [ 0.0; 0.1; 0.3; 0.5; 0.7; 0.9; 1.0 ]
 
@@ -154,7 +161,7 @@ let test_heap_crash_cycles () =
   in
   let dest = Nvm.Pool.create machine ~name:"dest" ~numa:0 ~capacity:4096 () in
   Pmalloc.Registry.register dest;
-  let rng = Des.Rng.create ~seed:55L in
+  let rng = Des.Rng.create ~seed:(seed_of 55) in
   let live = ref [] in
   for round = 0 to 19 do
     for _ = 0 to 9 do
