@@ -73,6 +73,38 @@ let crashmc scale =
         Format.printf "  seed %d (override with PACTREE_SEED)@." seed)
     Crashmc.Sut.all
 
+(* Instrumented run in the BENCH_pactree.json shape: per-phase time
+   attribution + per-op persistence costs for PACTree and the two
+   closest baselines.  (The canonical file is emitted by
+   `pactree_bench stats`; this target prints the same rows and
+   validates them in-memory.) *)
+let stats scale =
+  Format.printf "@.=== stats: phase attribution + per-op persistence costs ===@.";
+  let mix = Workload.Ycsb.Workload_a in
+  let threads = 28 in
+  let entries =
+    List.map
+      (fun sys ->
+        let entry, obs = Experiments.Obs_run.bench_entry ~scale ~mix ~threads sys in
+        Format.printf "%a@." Obs.Report.pp_entry entry;
+        Format.printf "%a@." Obs.Span.pp_table obs.Obs.Recorder.span;
+        entry)
+      [
+        Experiments.Factory.Pactree_sys;
+        Experiments.Factory.Pdlart_sys;
+        Experiments.Factory.Fastfair_sys;
+      ]
+  in
+  let json =
+    Obs.Report.to_json ~keys:scale.Experiments.Scale.keys
+      ~ops:scale.Experiments.Scale.ops ~threads
+      ~mix:(Format.asprintf "%a" Workload.Ycsb.pp_mix mix)
+      ~entries
+  in
+  match Obs.Report.validate json with
+  | Ok () -> Format.printf "(rows conform to schema %s)@." Obs.Report.schema_version
+  | Error msg -> failwith ("stats: malformed bench output: " ^ msg)
+
 let all_figures =
   [
     ("fig2", Experiments.Figures.fig2);
@@ -92,6 +124,7 @@ let all_figures =
     ("sec6_7", Experiments.Figures.sec6_7);
     ("sec6_8", Experiments.Figures.sec6_8);
     ("crashmc", crashmc);
+    ("stats", stats);
   ]
 
 let () =

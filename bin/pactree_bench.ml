@@ -63,7 +63,25 @@ let low_bw_arg =
     value & flag
     & info [ "low-bandwidth" ] ~doc:"Use the low-bandwidth NVM machine profile (6.2).")
 
-let run_ycsb sys mix keys ops threads theta string_keys directory low_bw =
+let obs_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "obs" ] ~docv:"FILE"
+        ~doc:
+          "Instrument the measured phase and dump metrics, per-phase attribution and \
+           the bandwidth timeline as JSON to $(docv) (collapsed flamegraph stacks go \
+           to $(docv).folded).")
+
+let write_json path json =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Obs.Json.to_string json);
+      output_char oc '\n')
+
+let run_ycsb sys mix keys ops threads theta string_keys directory low_bw obs_out =
   let protocol = if directory then Nvm.Config.Directory else Nvm.Config.Snoop in
   let profile = if low_bw then Nvm.Config.dcpmm_low_bw else Nvm.Config.dcpmm in
   let machine = Nvm.Machine.create ~profile ~protocol ~numa_count:2 () in
@@ -72,9 +90,12 @@ let run_ycsb sys mix keys ops threads theta string_keys directory low_bw =
   let kind =
     if string_keys then Workload.Keyset.String_keys else Workload.Keyset.Int_keys
   in
+  let obs =
+    Option.map (fun _ -> Obs.Recorder.create machine ~sample_interval:20e-6 ()) obs_out
+  in
   let r =
-    Workload.Runner.run ~machine ~index ?service ~mix ~kind ~loaded:keys ~ops ~threads
-      ~theta ()
+    Workload.Runner.run ~machine ~index ?service ?obs ~mix ~kind ~loaded:keys ~ops
+      ~threads ~theta ()
   in
   Format.printf "index      : %s@." (Experiments.Factory.name sys);
   Format.printf "workload   : %a, %d keys, %d ops, %d threads, theta %.2f@."
@@ -87,7 +108,14 @@ let run_ycsb sys mix keys ops threads theta string_keys directory low_bw =
   Format.printf "NVM traffic: %.1f MB read, %.1f MB written, %d flushes, %d fences@."
     (float_of_int (Nvm.Stats.total_read_bytes r.Workload.Runner.nvm) /. 1e6)
     (float_of_int (Nvm.Stats.total_write_bytes r.Workload.Runner.nvm) /. 1e6)
-    r.Workload.Runner.nvm.Nvm.Stats.flushes r.Workload.Runner.nvm.Nvm.Stats.fences
+    r.Workload.Runner.nvm.Nvm.Stats.flushes r.Workload.Runner.nvm.Nvm.Stats.fences;
+  match (obs_out, obs) with
+  | Some path, Some o ->
+      Format.printf "%a@." Obs.Span.pp_table o.Obs.Recorder.span;
+      write_json path (Obs.Recorder.to_json o);
+      Obs.Span.write_collapsed o.Obs.Recorder.span (path ^ ".folded");
+      Format.printf "observability dump: %s (stacks: %s.folded)@." path path
+  | _ -> ()
 
 let ycsb_cmd =
   let doc = "Run one YCSB workload against one index." in
@@ -95,7 +123,7 @@ let ycsb_cmd =
     (Cmd.info "ycsb" ~doc)
     Term.(
       const run_ycsb $ index_arg $ mix_arg $ keys_arg $ ops_arg $ threads_arg
-      $ theta_arg $ string_keys_arg $ protocol_arg $ low_bw_arg)
+      $ theta_arg $ string_keys_arg $ protocol_arg $ low_bw_arg $ obs_arg)
 
 let figure_names =
   [
@@ -138,17 +166,98 @@ let figure_cmd =
   let full_arg = Arg.(value & flag & info [ "full" ] ~doc:"Paper-like scale (slow).") in
   Cmd.v (Cmd.info "figure" ~doc) Term.(const run_figure $ name_arg $ full_arg)
 
-let run_crash rounds =
+let run_crash rounds obs_out =
   let scale =
     { Experiments.Scale.quick with Experiments.Scale.keys = 20_000; ops = 20_000 }
   in
   ignore rounds;
-  Experiments.Figures.sec6_8 scale
+  (* Time-only recorder (no single machine spans the rounds): shows
+     how much simulated time the rounds spend in the recovery phase. *)
+  let span = Option.map (fun _ -> Obs.Span.create ()) obs_out in
+  Option.iter Obs.Span.install span;
+  Fun.protect
+    ~finally:(fun () -> Option.iter Obs.Span.uninstall span)
+    (fun () -> Experiments.Figures.sec6_8 scale);
+  match (obs_out, span) with
+  | Some path, Some s ->
+      Format.printf "%a@." Obs.Span.pp_table s;
+      write_json path (Obs.Span.to_json s);
+      Format.printf "observability dump: %s@." path
+  | _ -> ()
 
 let crash_cmd =
   let doc = "Crash-injection recovery test (6.8)." in
   let rounds_arg = Arg.(value & opt int 100 & info [ "rounds" ] ~doc:"Crash rounds.") in
-  Cmd.v (Cmd.info "crash" ~doc) Term.(const run_crash $ rounds_arg)
+  Cmd.v (Cmd.info "crash" ~doc) Term.(const run_crash $ rounds_arg $ obs_arg)
+
+(* ---------- stats: the canonical machine-readable bench ---------- *)
+
+let stats_systems =
+  [
+    Experiments.Factory.Pactree_sys;
+    Experiments.Factory.Pdlart_sys;
+    Experiments.Factory.Fastfair_sys;
+  ]
+
+let run_stats quick out check threads =
+  match check with
+  | Some path -> (
+      match Obs.Report.validate_file path with
+      | Ok () -> Format.printf "%s: OK (schema %s)@." path Obs.Report.schema_version
+      | Error msg ->
+          Format.eprintf "%s: INVALID: %s@." path msg;
+          exit 1)
+  | None ->
+      let scale =
+        if quick then Experiments.Scale.make ~keys:20_000 ~ops:15_000 ~thread_counts:[]
+        else Experiments.Scale.quick
+      in
+      let mix = Workload.Ycsb.Workload_a in
+      let entries =
+        List.map
+          (fun sys ->
+            let entry, obs =
+              Experiments.Obs_run.bench_entry ~scale ~mix ~threads sys
+            in
+            Format.printf "%a@." Obs.Report.pp_entry entry;
+            Format.printf "%a@." Obs.Span.pp_table obs.Obs.Recorder.span;
+            entry)
+          stats_systems
+      in
+      let json =
+        Obs.Report.to_json ~keys:scale.Experiments.Scale.keys
+          ~ops:scale.Experiments.Scale.ops ~threads
+          ~mix:(Format.asprintf "%a" Workload.Ycsb.pp_mix mix)
+          ~entries
+      in
+      Obs.Report.write_file out json;
+      Format.printf "wrote %s (schema %s, %d systems)@." out Obs.Report.schema_version
+        (List.length entries)
+
+let stats_cmd =
+  let doc =
+    "Run the canonical instrumented benchmark (YCSB-A, PACTree + baselines) and emit \
+     schema-validated BENCH_pactree.json; or validate an existing file with --check."
+  in
+  let quick_arg =
+    Arg.(value & flag & info [ "quick" ] ~doc:"Reduced scale for CI (seconds).")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt string "BENCH_pactree.json"
+      & info [ "out" ] ~docv:"FILE" ~doc:"Output path.")
+  in
+  let check_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "check" ] ~docv:"FILE"
+          ~doc:"Validate $(docv) against the schema and exit (no benchmark run).")
+  in
+  Cmd.v
+    (Cmd.info "stats" ~doc)
+    Term.(const run_stats $ quick_arg $ out_arg $ check_arg $ threads_arg)
 
 (* ---------- crashmc: systematic crash-state model checking ---------- *)
 
@@ -274,4 +383,4 @@ let crashmc_cmd =
 let () =
   let doc = "PACTree (SOSP'21) reproduction benchmarks on a simulated NVM machine." in
   let info = Cmd.info "pactree_bench" ~doc in
-  exit (Cmd.eval (Cmd.group info [ ycsb_cmd; figure_cmd; crash_cmd; crashmc_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ ycsb_cmd; figure_cmd; crash_cmd; crashmc_cmd; stats_cmd ]))

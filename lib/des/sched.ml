@@ -139,6 +139,8 @@ let delay seconds =
 let charge seconds =
   match current () with Some th -> th.extra <- th.extra +. seconds | None -> ()
 
+let pending_charge () = match current () with Some th -> th.extra | None -> 0.0
+
 let yield () = delay 0.0
 
 module Waitq = struct

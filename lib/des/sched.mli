@@ -57,6 +57,13 @@ val delay : float -> unit
     work and cache hits. *)
 val charge : float -> unit
 
+(** Charged time accumulated by the calling thread that has not yet
+    been folded into the clock by a [delay] or block; [0.] outside a
+    simulation.  [now t +. pending_charge ()] is the calling thread's
+    effective clock — observability code uses it so that span
+    boundaries see [charge]d costs without forcing a context switch. *)
+val pending_charge : unit -> float
+
 (** Yield the processor: reschedule the calling thread at the current
     time behind already-pending events. *)
 val yield : unit -> unit

@@ -333,22 +333,34 @@ let fh5 scale =
     in
     let lines = Nvm.Pool.capacity pool / 64 in
     let sched = Des.Sched.create () in
+    (* bandwidth-over-time series: this is the plot where the
+       directory protocol's read bandwidth melts down *)
+    let sampler = Obs.Sampler.create ~machine ~interval:20e-6 () in
+    Obs.Sampler.spawn sampler sched;
+    let live = ref 20 in
     for i = 0 to 19 do
       Des.Sched.spawn sched ~numa:1 ~name:(Printf.sprintf "r%d" i) (fun () ->
           let rng = Des.Rng.create ~seed:(Int64.of_int (i + 1)) in
           for _ = 1 to scale.Scale.ops / 20 do
             ignore (Nvm.Pool.read_int pool (Des.Rng.int rng lines * 64))
-          done)
+          done;
+          decr live;
+          if !live = 0 then Obs.Sampler.stop sampler)
     done;
     Des.Sched.run sched;
     let stats = Nvm.Device.stats (Machine.device machine 0) in
-    (gb (Stats.total_read_bytes stats), gb (Stats.total_write_bytes stats))
+    (gb (Stats.total_read_bytes stats), gb (Stats.total_write_bytes stats), sampler)
   in
-  let dr, dw = run Config.Directory in
-  let sr, sw = run Config.Snoop in
+  let dr, dw, dsampler = run Config.Directory in
+  let sr, sw, ssampler = run Config.Snoop in
   printf "%-10s %12s %12s@." "protocol" "read (GB)" "write (GB)";
   printf "%-10s %12.3f %12.3f@." "directory" dr dw;
-  printf "%-10s %12.3f %12.3f@." "snoop" sr sw
+  printf "%-10s %12.3f %12.3f@." "snoop" sr sw;
+  let dir_csv = "fh5_bandwidth_directory.csv" in
+  let snoop_csv = "fh5_bandwidth_snoop.csv" in
+  Obs.Sampler.write_csv dsampler dir_csv;
+  Obs.Sampler.write_csv ssampler snoop_csv;
+  printf "bandwidth-over-time series written to %s and %s@." dir_csv snoop_csv
 
 (* ---- §6.7: jump-node distance distribution ---- *)
 
@@ -422,7 +434,11 @@ let sec6_8 scale =
         in
         Machine.crash machine mode);
     Des.Sched.run sched;
-    ignore (Tree.recover t);
+    (* run recovery on the simulated clock so its cost is measured
+       (and phase-attributed when an observer is installed) *)
+    let rsched = Des.Sched.create () in
+    Des.Sched.spawn rsched ~name:"recovery" (fun () -> ignore (Tree.recover t));
+    Des.Sched.run rsched;
     (try ignore (Tree.check_invariants t)
      with Failure msg ->
        incr failures;

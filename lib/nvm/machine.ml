@@ -36,6 +36,8 @@ type t = {
   mutable pool_views : pool_view list; (* reversed creation order *)
   mutable flush_fault : int option; (* drop the k-th clwb since set *)
   mutable flush_seen : int;
+  mutable wait_observer : (float -> unit) option;
+      (* called with each fence's simulated stall, for phase attribution *)
 }
 
 let create ?(profile = Config.dcpmm) ?(protocol = Config.Snoop) ~numa_count () =
@@ -54,7 +56,10 @@ let create ?(profile = Config.dcpmm) ?(protocol = Config.Snoop) ~numa_count () =
     pool_views = [];
     flush_fault = None;
     flush_seen = 0;
+    wait_observer = None;
   }
+
+let set_wait_observer t f = t.wait_observer <- f
 
 let set_tracer t f = t.tracer <- f
 
@@ -173,7 +178,10 @@ let fence t =
             if accepted > !fence_done then fence_done := accepted
           in
           Hashtbl.iter issue groups;
-          Des.Sched.delay (!fence_done -. start)
+          Des.Sched.delay (!fence_done -. start);
+          match t.wait_observer with
+          | Some observe -> observe (!fence_done -. start)
+          | None -> ()
         end
         else begin
           (* Outside a simulation: account traffic without timing. *)

@@ -117,6 +117,14 @@ val set_flush_fault : t -> int option -> unit
     (Called by {!Pool.clwb}.) *)
 val flush_faulted : t -> bool
 
+(** {2 Observability} *)
+
+(** [set_wait_observer t (Some f)] has every in-simulation [fence]
+    report its stall ([f seconds], after the delay completes) — the
+    hook behind the observability layer's [flush_wait] phase.  nvm
+    stays independent of lib/obs; the recorder installs itself here. *)
+val set_wait_observer : t -> (float -> unit) option -> unit
+
 (** {2 Program-visible operations} *)
 
 (** Store fence: drains the calling thread's staged flushes through

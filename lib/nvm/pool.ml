@@ -124,18 +124,28 @@ let touch_line t off =
   else
     ignore (Device.read t.dev ~now:0.0 ~xpline:(g lsr 2) ~from_numa:t.numa)
 
-let touch_range t off len =
+(* Logical (program-requested) byte accounting feeds the FH1/FH2
+   amplification rates: media traffic over logical traffic.  Volatile
+   pools are excluded — amplification is an NVM phenomenon. *)
+let touch_range_k t off len ~write =
   if not (off >= 0 && len >= 0 && off + len <= t.capacity) then
     invalid_arg
       (Printf.sprintf "Pool %s: access [%d, %d) outside capacity %d" t.name off
          (off + len) t.capacity);
+  if (not t.volatile) && len > 0 then begin
+    let s = Machine.stats t.machine in
+    if write then s.Stats.logical_write_bytes <- s.Stats.logical_write_bytes + len
+    else s.Stats.logical_read_bytes <- s.Stats.logical_read_bytes + len
+  end;
   let first = off lsr 6 and last = (off + len - 1) lsr 6 in
   for line = first to last do
     touch_line t (line lsl 6)
   done
 
+let touch_range t off len = touch_range_k t off len ~write:false
+
 let touch_range_write t off len =
-  touch_range t off len;
+  touch_range_k t off len ~write:true;
   let first = off lsr 6 and last = (off + len - 1) lsr 6 in
   for line = first to last do
     mark_dirty t (line lsl 6)

@@ -14,6 +14,8 @@ type t = {
   mutable remote_accesses : int;
   mutable flushes : int;
   mutable fences : int;
+  mutable logical_read_bytes : int;
+  mutable logical_write_bytes : int;
 }
 
 let create () =
@@ -33,6 +35,8 @@ let create () =
     remote_accesses = 0;
     flushes = 0;
     fences = 0;
+    logical_read_bytes = 0;
+    logical_write_bytes = 0;
   }
 
 let reset t =
@@ -50,7 +54,9 @@ let reset t =
   t.cache_misses <- 0;
   t.remote_accesses <- 0;
   t.flushes <- 0;
-  t.fences <- 0
+  t.fences <- 0;
+  t.logical_read_bytes <- 0;
+  t.logical_write_bytes <- 0
 
 let snapshot t =
   {
@@ -69,6 +75,8 @@ let snapshot t =
     remote_accesses = t.remote_accesses;
     flushes = t.flushes;
     fences = t.fences;
+    logical_read_bytes = t.logical_read_bytes;
+    logical_write_bytes = t.logical_write_bytes;
   }
 
 let diff a b =
@@ -88,6 +96,8 @@ let diff a b =
     remote_accesses = a.remote_accesses - b.remote_accesses;
     flushes = a.flushes - b.flushes;
     fences = a.fences - b.fences;
+    logical_read_bytes = a.logical_read_bytes - b.logical_read_bytes;
+    logical_write_bytes = a.logical_write_bytes - b.logical_write_bytes;
   }
 
 let add acc x =
@@ -105,19 +115,39 @@ let add acc x =
   acc.cache_misses <- acc.cache_misses + x.cache_misses;
   acc.remote_accesses <- acc.remote_accesses + x.remote_accesses;
   acc.flushes <- acc.flushes + x.flushes;
-  acc.fences <- acc.fences + x.fences
+  acc.fences <- acc.fences + x.fences;
+  acc.logical_read_bytes <- acc.logical_read_bytes + x.logical_read_bytes;
+  acc.logical_write_bytes <- acc.logical_write_bytes + x.logical_write_bytes
+
+let is_zero t =
+  t.media_reads = 0 && t.media_read_bytes = 0 && t.media_writes = 0
+  && t.media_write_bytes = 0 && t.rmw_reads = 0 && t.rmw_read_bytes = 0
+  && t.dir_writes = 0 && t.dir_write_bytes = 0 && t.buffer_hits = 0
+  && t.prefetches = 0 && t.cache_hits = 0 && t.cache_misses = 0
+  && t.remote_accesses = 0 && t.flushes = 0 && t.fences = 0
+  && t.logical_read_bytes = 0 && t.logical_write_bytes = 0
 
 let total_read_bytes t = t.media_read_bytes + t.rmw_read_bytes
 
 let total_write_bytes t = t.media_write_bytes + t.dir_write_bytes
 
+let read_amplification t =
+  if t.logical_read_bytes = 0 then 0.0
+  else float_of_int (total_read_bytes t) /. float_of_int t.logical_read_bytes
+
+let write_amplification t =
+  if t.logical_write_bytes = 0 then 0.0
+  else float_of_int (total_write_bytes t) /. float_of_int t.logical_write_bytes
+
 let pp ppf t =
   Format.fprintf ppf
     "@[<v>media reads: %d (%d B, +%d B rmw)@,\
      media writes: %d (%d B, +%d B directory)@,\
+     logical: %d B read, %d B written (amplification %.2fx read / %.2fx write)@,\
      buffer hits: %d, prefetches: %d@,\
      cpu cache: %d hits / %d misses, remote: %d@,\
      flushes: %d, fences: %d@]"
     t.media_reads t.media_read_bytes t.rmw_read_bytes t.media_writes
-    t.media_write_bytes t.dir_write_bytes t.buffer_hits t.prefetches
+    t.media_write_bytes t.dir_write_bytes t.logical_read_bytes t.logical_write_bytes
+    (read_amplification t) (write_amplification t) t.buffer_hits t.prefetches
     t.cache_hits t.cache_misses t.remote_accesses t.flushes t.fences

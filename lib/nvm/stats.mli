@@ -19,6 +19,11 @@ type t = {
   mutable remote_accesses : int;  (** cross-NUMA accesses *)
   mutable flushes : int;  (** clwb instructions *)
   mutable fences : int;  (** sfence instructions *)
+  mutable logical_read_bytes : int;
+      (** bytes the program asked to read (denominator of FH2's read
+          amplification; media traffic is the numerator) *)
+  mutable logical_write_bytes : int;
+      (** bytes the program asked to write (FH1 write amplification) *)
 }
 
 val create : unit -> t
@@ -34,10 +39,21 @@ val diff : t -> t -> t
 (** [add acc x] accumulates [x] into [acc]. *)
 val add : t -> t -> unit
 
+(** Every counter is zero (e.g. a [diff] over an idle window). *)
+val is_zero : t -> bool
+
 (** Total bytes read from media, including RMW amplification. *)
 val total_read_bytes : t -> int
 
 (** Total bytes written to media, including directory writes. *)
 val total_write_bytes : t -> int
+
+(** [total_read_bytes / logical_read_bytes]; [0.] when nothing was
+    read.  > 1 exposes FH2 (256B media granularity vs small reads). *)
+val read_amplification : t -> float
+
+(** [total_write_bytes / logical_write_bytes]; [0.] when nothing was
+    written.  > 1 exposes FH1 (RMW on partial XPLine writes). *)
+val write_amplification : t -> float
 
 val pp : Format.formatter -> t -> unit

@@ -1,0 +1,30 @@
+(** Minimal JSON tree, emitter and parser.
+
+    The bench output (BENCH_pactree.json, --obs dumps) must be
+    machine-readable and schema-checkable without adding external
+    dependencies, so lib/obs carries its own ~RFC 8259 subset:
+    UTF-8 passthrough strings, no exponent-free float restrictions,
+    integers kept distinct from floats on emission. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+(** Pretty-printed (2-space indent) emission. *)
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string
+
+(** Parse; [Error msg] carries an offset-annotated message. *)
+val of_string : string -> (t, string) result
+
+(** [member key json] for [Obj] values. *)
+val member : string -> t -> t option
+
+(** Numeric accessor: accepts both [Int] and [Float]. *)
+val to_number : t -> float option

@@ -1,0 +1,244 @@
+type counter = { mutable c : int }
+
+type gauge = { mutable g : float }
+
+(* Log-scaled histogram: observation v > 0 lands in bucket
+   round(ln v / ln gamma); the bucket's representative value is
+   gamma^idx, so any quantile is within a factor of ~gamma of the
+   true sample.  Buckets live in a hashtable: values spanning many
+   decades cost O(decades / ln gamma) entries, not a fixed range. *)
+type histogram = {
+  buckets : (int, int ref) Hashtbl.t;
+  mutable zeroes : int; (* observations <= 0 *)
+  mutable count : int;
+  mutable sum : float;
+  mutable max : float;
+}
+
+type metric = Counter of counter | Gauge of gauge | Hist of histogram
+
+type t = { table : (string, metric) Hashtbl.t }
+
+let gamma = 1.05
+
+let log_gamma = Float.log gamma
+
+let create () = { table = Hashtbl.create 32 }
+
+let counter t name =
+  match Hashtbl.find_opt t.table name with
+  | Some (Counter c) -> c
+  | Some _ -> invalid_arg (Printf.sprintf "Metrics: %S is not a counter" name)
+  | None ->
+      let c = { c = 0 } in
+      Hashtbl.add t.table name (Counter c);
+      c
+
+let inc c = c.c <- c.c + 1
+
+let add c by = c.c <- c.c + by
+
+let counter_value t name =
+  match Hashtbl.find_opt t.table name with Some (Counter c) -> c.c | _ -> 0
+
+let gauge t name =
+  match Hashtbl.find_opt t.table name with
+  | Some (Gauge g) -> g
+  | Some _ -> invalid_arg (Printf.sprintf "Metrics: %S is not a gauge" name)
+  | None ->
+      let g = { g = 0.0 } in
+      Hashtbl.add t.table name (Gauge g);
+      g
+
+let set g v = g.g <- v
+
+let gauge_value t name =
+  match Hashtbl.find_opt t.table name with Some (Gauge g) -> g.g | _ -> 0.0
+
+let new_hist () =
+  { buckets = Hashtbl.create 16; zeroes = 0; count = 0; sum = 0.0; max = neg_infinity }
+
+let histogram t name =
+  match Hashtbl.find_opt t.table name with
+  | Some (Hist h) -> h
+  | Some _ -> invalid_arg (Printf.sprintf "Metrics: %S is not a histogram" name)
+  | None ->
+      let h = new_hist () in
+      Hashtbl.add t.table name (Hist h);
+      h
+
+let find_histogram t name =
+  match Hashtbl.find_opt t.table name with Some (Hist h) -> Some h | _ -> None
+
+let bucket_of v = int_of_float (Float.round (Float.log v /. log_gamma))
+
+let bucket_value idx = Float.exp (float_of_int idx *. log_gamma)
+
+let observe h v =
+  h.count <- h.count + 1;
+  h.sum <- h.sum +. Float.max v 0.0;
+  if v > h.max then h.max <- v;
+  if v <= 0.0 then h.zeroes <- h.zeroes + 1
+  else begin
+    let idx = bucket_of v in
+    match Hashtbl.find_opt h.buckets idx with
+    | Some r -> incr r
+    | None -> Hashtbl.add h.buckets idx (ref 1)
+  end
+
+let hist_count h = h.count
+
+let hist_sum h = h.sum
+
+let hist_mean h = if h.count = 0 then 0.0 else h.sum /. float_of_int h.count
+
+let hist_max h = if h.count = 0 then 0.0 else Float.max h.max 0.0
+
+let sorted_buckets h =
+  let pairs = Hashtbl.fold (fun idx r acc -> (idx, !r) :: acc) h.buckets [] in
+  List.sort (fun (a, _) (b, _) -> compare a b) pairs
+
+let hist_percentile h p =
+  if not (p >= 0.0 && p <= 100.0) then
+    invalid_arg (Printf.sprintf "Metrics.hist_percentile: %g not in [0, 100]" p);
+  if h.count = 0 then 0.0
+  else begin
+    (* rank of the nearest sample, 1-based *)
+    let rank =
+      1 + int_of_float (p /. 100.0 *. float_of_int (h.count - 1) +. 0.5)
+    in
+    if rank <= h.zeroes then 0.0
+    else begin
+      let rec walk remaining = function
+        | [] -> hist_max h
+        | (idx, n) :: rest ->
+            if remaining <= n then bucket_value idx else walk (remaining - n) rest
+      in
+      walk (rank - h.zeroes) (sorted_buckets h)
+    end
+  end
+
+(* ---------- registry-wide ---------- *)
+
+let copy_hist h =
+  let buckets = Hashtbl.create (Hashtbl.length h.buckets) in
+  Hashtbl.iter (fun idx r -> Hashtbl.add buckets idx (ref !r)) h.buckets;
+  { buckets; zeroes = h.zeroes; count = h.count; sum = h.sum; max = h.max }
+
+let snapshot t =
+  let table = Hashtbl.create (Hashtbl.length t.table) in
+  Hashtbl.iter
+    (fun name m ->
+      let m' =
+        match m with
+        | Counter c -> Counter { c = c.c }
+        | Gauge g -> Gauge { g = g.g }
+        | Hist h -> Hist (copy_hist h)
+      in
+      Hashtbl.add table name m')
+    t.table;
+  { table }
+
+let diff_hist a b =
+  let buckets = Hashtbl.create (Hashtbl.length a.buckets) in
+  Hashtbl.iter
+    (fun idx r ->
+      let before = match Hashtbl.find_opt b.buckets idx with Some r' -> !r' | None -> 0 in
+      let d = !r - before in
+      if d > 0 then Hashtbl.add buckets idx (ref d))
+    a.buckets;
+  {
+    buckets;
+    zeroes = max 0 (a.zeroes - b.zeroes);
+    count = max 0 (a.count - b.count);
+    sum = a.sum -. b.sum;
+    max = a.max (* upper bound over the window *);
+  }
+
+let diff after before =
+  let table = Hashtbl.create (Hashtbl.length after.table) in
+  Hashtbl.iter
+    (fun name m ->
+      let m' =
+        match (m, Hashtbl.find_opt before.table name) with
+        | Counter c, Some (Counter c0) -> Counter { c = c.c - c0.c }
+        | Counter c, _ -> Counter { c = c.c }
+        | Gauge g, _ -> Gauge { g = g.g }
+        | Hist h, Some (Hist h0) -> Hist (diff_hist h h0)
+        | Hist h, _ -> Hist (copy_hist h)
+      in
+      Hashtbl.add table name m')
+    after.table;
+  { table }
+
+let merge_hist ~dst ~src =
+  Hashtbl.iter
+    (fun idx r ->
+      match Hashtbl.find_opt dst.buckets idx with
+      | Some r' -> r' := !r' + !r
+      | None -> Hashtbl.add dst.buckets idx (ref !r))
+    src.buckets;
+  dst.zeroes <- dst.zeroes + src.zeroes;
+  dst.count <- dst.count + src.count;
+  dst.sum <- dst.sum +. src.sum;
+  if src.max > dst.max then dst.max <- src.max
+
+let merge ~dst ~src =
+  Hashtbl.iter
+    (fun name m ->
+      match (Hashtbl.find_opt dst.table name, m) with
+      | Some (Counter c'), Counter c -> c'.c <- c'.c + c.c
+      | Some (Gauge g'), Gauge g -> g'.g <- g.g
+      | Some (Hist h'), Hist h -> merge_hist ~dst:h' ~src:h
+      | Some _, _ ->
+          invalid_arg (Printf.sprintf "Metrics.merge: %S has conflicting kinds" name)
+      | None, Counter c -> Hashtbl.add dst.table name (Counter { c = c.c })
+      | None, Gauge g -> Hashtbl.add dst.table name (Gauge { g = g.g })
+      | None, Hist h -> Hashtbl.add dst.table name (Hist (copy_hist h)))
+    src.table
+
+(* ---------- emission ---------- *)
+
+let sorted_entries t =
+  let entries = Hashtbl.fold (fun name m acc -> (name, m) :: acc) t.table [] in
+  List.sort (fun (a, _) (b, _) -> compare a b) entries
+
+let hist_json h =
+  Json.Obj
+    [
+      ("count", Json.Int h.count);
+      ("sum", Json.Float h.sum);
+      ("mean", Json.Float (hist_mean h));
+      ("max", Json.Float (hist_max h));
+      ("p50", Json.Float (hist_percentile h 50.0));
+      ("p90", Json.Float (hist_percentile h 90.0));
+      ("p99", Json.Float (hist_percentile h 99.0));
+      ("p99.9", Json.Float (hist_percentile h 99.9));
+      ("p99.99", Json.Float (hist_percentile h 99.99));
+    ]
+
+let to_json t =
+  Json.Obj
+    (List.map
+       (fun (name, m) ->
+         ( name,
+           match m with
+           | Counter c -> Json.Int c.c
+           | Gauge g -> Json.Float g.g
+           | Hist h -> hist_json h ))
+       (sorted_entries t))
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  List.iteri
+    (fun i (name, m) ->
+      if i > 0 then Format.fprintf ppf "@,";
+      match m with
+      | Counter c -> Format.fprintf ppf "%-40s %d" name c.c
+      | Gauge g -> Format.fprintf ppf "%-40s %g" name g.g
+      | Hist h ->
+          Format.fprintf ppf "%-40s n=%d mean=%.3g p50=%.3g p99=%.3g max=%.3g" name
+            h.count (hist_mean h) (hist_percentile h 50.0) (hist_percentile h 99.0)
+            (hist_max h))
+    (sorted_entries t);
+  Format.fprintf ppf "@]"

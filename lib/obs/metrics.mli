@@ -1,0 +1,81 @@
+(** Named-metric registry: counters, gauges and log-scaled histograms.
+
+    Hot paths hold a handle ({!counter}, {!gauge}, {!histogram} are
+    get-or-create and may be hoisted out of loops); recording through
+    a handle is O(1) and allocation-free for counters/gauges.
+    Histograms bucket values at a fixed ~5% geometric resolution
+    (base {!gamma}), so percentile queries are approximate but
+    monotone, and merge is bucket-wise addition. *)
+
+type t
+
+val create : unit -> t
+
+(** {2 Counters (monotone ints)} *)
+
+type counter
+
+val counter : t -> string -> counter
+
+val inc : counter -> unit
+
+val add : counter -> int -> unit
+
+val counter_value : t -> string -> int
+(** 0 when absent. *)
+
+(** {2 Gauges (last-written floats)} *)
+
+type gauge
+
+val gauge : t -> string -> gauge
+
+val set : gauge -> float -> unit
+
+val gauge_value : t -> string -> float
+(** 0. when absent. *)
+
+(** {2 Histograms} *)
+
+type histogram
+
+(** Geometric bucket base: consecutive bucket boundaries differ by
+    this factor (relative quantile error is about [gamma - 1]). *)
+val gamma : float
+
+val histogram : t -> string -> histogram
+
+(** Record one observation.  Values <= 0 land in a dedicated
+    zero-bucket (reported as 0.). *)
+val observe : histogram -> float -> unit
+
+val hist_count : histogram -> int
+
+val hist_sum : histogram -> float
+
+val hist_mean : histogram -> float
+
+val hist_max : histogram -> float
+
+(** [hist_percentile h p], [p] in [0, 100]; 0. on an empty histogram.
+    Raises [Invalid_argument] outside [0, 100].  Monotone in [p]. *)
+val hist_percentile : histogram -> float -> float
+
+val find_histogram : t -> string -> histogram option
+
+(** {2 Registry-wide operations} *)
+
+(** Deep copy (measurement windows). *)
+val snapshot : t -> t
+
+(** [diff after before]: counters and histogram buckets subtract;
+    gauges keep [after]'s value. *)
+val diff : t -> t -> t
+
+(** [merge ~dst ~src] accumulates [src] into [dst] (counters and
+    histogram buckets add; gauges take [src] when present). *)
+val merge : dst:t -> src:t -> unit
+
+val to_json : t -> Json.t
+
+val pp : Format.formatter -> t -> unit

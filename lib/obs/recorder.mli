@@ -1,0 +1,21 @@
+(** Bundle of the three observability instruments for one measured
+    run: a metrics registry, a span recorder and (optionally) a
+    time-series sampler, all against one machine.  The workload
+    runner accepts one of these and wires everything up. *)
+
+type t = {
+  machine : Nvm.Machine.t;
+  metrics : Metrics.t;
+  span : Span.t;
+  sampler : Sampler.t option;
+}
+
+(** [create machine ()] — pass [~sample_interval] (simulated seconds)
+    to also collect the bandwidth-over-time series. *)
+val create : Nvm.Machine.t -> ?sample_interval:float -> unit -> t
+
+(** Full dump: metrics + per-phase breakdown + time series. *)
+val to_json : t -> Json.t
+
+(** Human-oriented summary (phase table + metrics). *)
+val pp : Format.formatter -> t -> unit

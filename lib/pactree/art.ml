@@ -489,6 +489,7 @@ let generation t = t.gen
 (* ---------- lookup ---------- *)
 
 let lookup t rkey =
+  Obs.Span.with_phase Obs.Span.Trie_search @@ fun () ->
   Epoch.enter t.epoch;
   Fun.protect ~finally:(fun () -> Epoch.exit t.epoch) @@ fun () ->
   with_retry t @@ fun () ->
@@ -543,6 +544,7 @@ let rec max_leaf t n =
   | Some p -> if Pptr.is_tagged p then Pptr.untag p else max_leaf t (node_of p)
 
 let lookup_le t rkey =
+  Obs.Span.with_phase Obs.Span.Trie_search @@ fun () ->
   Epoch.enter t.epoch;
   Fun.protect ~finally:(fun () -> Epoch.exit t.epoch) @@ fun () ->
   with_retry t @@ fun () ->
@@ -669,6 +671,7 @@ let add_child_inplace n b ptr =
       persist n (n.off + off_count) 2
 
 let insert t rkey payload =
+  Obs.Span.with_phase Obs.Span.Trie_search @@ fun () ->
   Epoch.enter t.epoch;
   Fun.protect ~finally:(fun () -> Epoch.exit t.epoch) @@ fun () ->
   ensure_pending_capacity t 4;
@@ -856,6 +859,7 @@ let remove_child_inplace n b =
 let shrink_threshold = [| 0; 3; 12; 40 |]
 
 let delete t rkey =
+  Obs.Span.with_phase Obs.Span.Trie_search @@ fun () ->
   Epoch.enter t.epoch;
   Fun.protect ~finally:(fun () -> Epoch.exit t.epoch) @@ fun () ->
   ensure_pending_capacity t 4;
@@ -1085,6 +1089,7 @@ let reachable t target =
   (not (Pptr.is_null root)) && visit root
 
 let recover t =
+  Obs.Span.with_phase Obs.Span.Recovery @@ fun () ->
   (* Bump the generation: every pre-crash lock becomes void (§5.7). *)
   let gen = Pool.read_int t.meta off_meta_gen + 1 in
   Pool.write_int t.meta off_meta_gen gen;

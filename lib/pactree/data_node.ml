@@ -143,6 +143,7 @@ let first_empty bm =
   go 0
 
 let find lay t k =
+  Obs.Span.with_phase Obs.Span.Dnode_scan @@ fun () ->
   let bm = bitmap t in
   let fp = Fingerprint.of_key k in
   (* one cache access covers the whole fingerprint line (the AVX512
@@ -224,6 +225,7 @@ let maybe_persist_perm lay t =
   if lay.persist_perm then ignore (rebuild_permutation lay t)
 
 let insert lay t k v =
+  Obs.Span.with_phase Obs.Span.Dnode_insert @@ fun () ->
   let bm = bitmap t in
   match first_empty bm with
   | None -> Full
@@ -236,6 +238,7 @@ let insert lay t k v =
       Ok
 
 let delete lay t k =
+  Obs.Span.with_phase Obs.Span.Dnode_insert @@ fun () ->
   match find lay t k with
   | None -> Absent
   | Some (slot, _) ->
@@ -245,6 +248,7 @@ let delete lay t k =
       Ok
 
 let update lay t k v =
+  Obs.Span.with_phase Obs.Span.Dnode_insert @@ fun () ->
   match find lay t k with
   | None -> Absent
   | Some (old_slot, _) -> (
@@ -267,6 +271,7 @@ let update lay t k v =
           Ok)
 
 let scan_from lay t k ~f =
+  Obs.Span.with_phase Obs.Span.Dnode_scan @@ fun () ->
   let n = refresh_permutation lay t in
   let rec go i =
     if i >= n then true
@@ -279,6 +284,7 @@ let scan_from lay t k ~f =
   go 0
 
 let copy_into lay ~src ~dst pairs =
+  Obs.Span.with_phase Obs.Span.Dnode_insert @@ fun () ->
   List.iteri
     (fun i (key, slot) ->
       set_entry lay dst i key (value_at lay src slot);
@@ -298,6 +304,7 @@ let clear_slots t slots =
   persist_bitmap t
 
 let absorb lay ~src ~dst =
+  Obs.Span.with_phase Obs.Span.Dnode_insert @@ fun () ->
   let pairs = live_entries lay src in
   let bm = ref (bitmap dst) in
   let added = ref [] in

@@ -61,6 +61,7 @@ let write_entry e ~ts payload =
   Pool.persist e.pool e.off 8
 
 let append t ~ts payload =
+  Obs.Span.with_phase Obs.Span.Smo @@ fun () ->
   let pool, rbase, tid = thread_ring t in
   let hint = Option.value ~default:0 (Hashtbl.find_opt t.cursors tid) in
   let rec find_free attempt i tried =

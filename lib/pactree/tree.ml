@@ -207,7 +207,7 @@ let locate t key =
       else (node, hops)
     end
   in
-  let node, hops = walk jump 0 in
+  let node, hops = Obs.Span.with_phase Obs.Span.Dnode_scan (fun () -> walk jump 0) in
   let bucket = min hops (Array.length t.jump_hist - 1) in
   t.jump_hist.(bucket) <- t.jump_hist.(bucket) + 1;
   node
@@ -324,6 +324,7 @@ let enqueue_smo t e =
 let persist_field pool off = Pool.persist pool off 8
 
 let split_and_insert t node wv key value =
+  Obs.Span.with_phase Obs.Span.Smo @@ fun () ->
   t.stats.splits <- t.stats.splits + 1;
   let sorted = Node.sorted_live t.lay node in
   let total = List.length sorted in
@@ -375,6 +376,7 @@ let split_and_insert t node wv key value =
 let merge_threshold = Node.entries / 2
 
 let try_merge t node =
+  Obs.Span.with_phase Obs.Span.Smo @@ fun () ->
   let nxt = Node.next node in
   if Pptr.is_null nxt then false
   else begin
@@ -573,6 +575,7 @@ let scan t key count =
 (* ---------- background updater (§5.6) ---------- *)
 
 let drain_smo t =
+  Obs.Span.with_phase Obs.Span.Log_replay @@ fun () ->
   let batch = ref [] in
   while not (Queue.is_empty t.pending_refs) do
     batch := Queue.pop t.pending_refs :: !batch
@@ -711,6 +714,7 @@ let rebuild_search_layer t =
   go (Pool.read_int t.meta off_head)
 
 let recover t =
+  Obs.Span.with_phase Obs.Span.Recovery @@ fun () ->
   (* Volatile coordination state did not survive. *)
   Queue.clear t.pending_refs;
   t.smo_hint <- false;

@@ -295,10 +295,12 @@ let alloc_dispatch t ~numa ~dest size =
   t.stats.alloc_bytes <- t.stats.alloc_bytes + class_sizes.(class_of size);
   ptr
 
-let alloc t ?numa size = alloc_dispatch t ~numa ~dest:None size
+let alloc t ?numa size =
+  Obs.Span.with_phase Obs.Span.Alloc (fun () -> alloc_dispatch t ~numa ~dest:None size)
 
 let alloc_to t ?numa ~size ~dest_pool ~dest_off () =
-  alloc_dispatch t ~numa ~dest:(Some (dest_pool, dest_off)) size
+  Obs.Span.with_phase Obs.Span.Alloc (fun () ->
+      alloc_dispatch t ~numa ~dest:(Some (dest_pool, dest_off)) size)
 
 let owner_state t ptr =
   let pid = Pptr.pool ptr in
@@ -311,11 +313,12 @@ let owner_state t ptr =
   go 0
 
 let free t ptr =
-  let ps = owner_state t ptr in
-  (match t.kind with
-  | Pmdk -> pmdk_free ps ptr
-  | Volatile_meta -> volatile_free ps ptr);
-  t.stats.frees <- t.stats.frees + 1
+  Obs.Span.with_phase Obs.Span.Alloc (fun () ->
+      let ps = owner_state t ptr in
+      (match t.kind with
+      | Pmdk -> pmdk_free ps ptr
+      | Volatile_meta -> volatile_free ps ptr);
+      t.stats.frees <- t.stats.frees + 1)
 
 (* Post-crash log recovery (Pmdk).  The commit point of an operation
    is clearing the log state.  A dest pointer that already holds the
@@ -353,6 +356,7 @@ let recover_pmdk_pool ps =
   end
 
 let recover t =
+  Obs.Span.with_phase Obs.Span.Recovery @@ fun () ->
   match t.kind with
   | Pmdk -> Array.iter recover_pmdk_pool t.pools
   | Volatile_meta ->

@@ -32,12 +32,33 @@ let ensure_sorted t =
   end
 
 let percentile t p =
-  assert (p >= 0.0 && p <= 100.0);
+  if not (p >= 0.0 && p <= 100.0) then
+    invalid_arg (Printf.sprintf "Latency.percentile: %g outside [0, 100]" p);
   if t.size = 0 then 0.0
   else begin
     ensure_sorted t;
     let idx = int_of_float (Float.of_int (t.size - 1) *. p /. 100.0) in
     t.samples.(idx)
+  end
+
+let mean t =
+  if t.size = 0 then 0.0
+  else begin
+    let sum = ref 0.0 in
+    for i = 0 to t.size - 1 do
+      sum := !sum +. t.samples.(i)
+    done;
+    !sum /. float_of_int t.size
+  end
+
+let max t =
+  if t.size = 0 then 0.0
+  else begin
+    let m = ref t.samples.(0) in
+    for i = 1 to t.size - 1 do
+      if t.samples.(i) > !m then m := t.samples.(i)
+    done;
+    !m
   end
 
 let merge ~dst ~src =

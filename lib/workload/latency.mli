@@ -15,8 +15,18 @@ val record : t -> float -> unit
 
 val count : t -> int
 
-(** [percentile t p] with [p] in [0, 100], e.g. [99.99]. *)
+(** [percentile t p] with [p] in [0, 100], e.g. [99.99].  Raises
+    [Invalid_argument] outside that range.  An empty recorder (no
+    samples yet) reports 0.0 for every percentile — callers that need
+    to distinguish "no data" from "zero latency" should consult
+    {!count}. *)
 val percentile : t -> float -> float
+
+(** Arithmetic mean of the recorded samples; 0.0 when empty. *)
+val mean : t -> float
+
+(** Largest recorded sample; 0.0 when empty. *)
+val max : t -> float
 
 (** Merge [src] into [dst] (combining per-thread recorders). *)
 val merge : dst:t -> src:t -> unit

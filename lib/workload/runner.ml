@@ -23,13 +23,27 @@ let apply_op index op =
    [mix]; returns (end_time, merged latency recorder).  [start] keeps
    simulated time monotonic across phases on the same machine (device
    channel bookings are absolute times). *)
-let phase ~machine ~index ~service ~mix ~kind ~loaded ~theta ~seed ~threads ~total_ops
-    ~start =
+let phase ~machine ~index ~service ~obs ~mix ~kind ~loaded ~theta ~seed ~threads
+    ~total_ops ~start =
   let numa_count = Nvm.Machine.numa_count machine in
   let sched = Des.Sched.create ~start () in
+  (match obs with
+  | Some { Obs.Recorder.sampler = Some s; _ } -> Obs.Sampler.spawn s sched
+  | _ -> ());
   (match service with
   | Some s -> Des.Sched.spawn sched ~name:"service" (fun () -> s.body ())
   | None -> ());
+  let op_hists =
+    match obs with
+    | None -> None
+    | Some o ->
+        let m = o.Obs.Recorder.metrics in
+        Some
+          ( Obs.Metrics.histogram m "op.flushes",
+            Obs.Metrics.histogram m "op.fences",
+            Obs.Metrics.histogram m "op.media_read_bytes",
+            Obs.Metrics.histogram m "op.media_write_bytes" )
+  in
   let recorders = Array.init threads (fun i -> Latency.create (Des.Rng.create ~seed:(Int64.of_int (i + 33)))) in
   let live = ref threads in
   let profile = Nvm.Machine.profile machine in
@@ -45,17 +59,35 @@ let phase ~machine ~index ~service ~mix ~kind ~loaded ~theta ~seed ~threads ~tot
           let op = Ycsb.next stream in
           Des.Sched.charge profile.Nvm.Config.op_overhead;
           if Latency.should_sample recorder then begin
+            let stats_before =
+              match op_hists with
+              | Some _ -> Some (Nvm.Stats.snapshot (Nvm.Machine.total_stats machine))
+              | None -> None
+            in
             let start = Des.Sched.now sched in
             apply_op index op;
             (* make sure accumulated charges land in the clock *)
             Des.Sched.delay 0.0;
-            Latency.record recorder (Des.Sched.now sched -. start)
+            Latency.record recorder (Des.Sched.now sched -. start);
+            match (op_hists, stats_before) with
+            | Some (hf, hn, hr, hw), Some b ->
+                let d = Nvm.Stats.diff (Nvm.Machine.total_stats machine) b in
+                Obs.Metrics.observe hf (float_of_int d.Nvm.Stats.flushes);
+                Obs.Metrics.observe hn (float_of_int d.Nvm.Stats.fences);
+                Obs.Metrics.observe hr (float_of_int (Nvm.Stats.total_read_bytes d));
+                Obs.Metrics.observe hw (float_of_int (Nvm.Stats.total_write_bytes d))
+            | _ -> ()
           end
           else apply_op index op
         done;
         Des.Sched.delay 0.0 (* materialise accumulated charges *);
         decr live;
-        if !live = 0 then match service with Some s -> s.shutdown () | None -> ())
+        if !live = 0 then begin
+          (match obs with
+          | Some { Obs.Recorder.sampler = Some s; _ } -> Obs.Sampler.stop s
+          | _ -> ());
+          match service with Some s -> s.shutdown () | None -> ()
+        end)
   done;
   Des.Sched.run sched;
   let merged = Latency.create (Des.Rng.create ~seed:1L) in
@@ -64,12 +96,12 @@ let phase ~machine ~index ~service ~mix ~kind ~loaded ~theta ~seed ~threads ~tot
 
 let load ~machine ~index ?service ~kind ~loaded ~threads ?(seed = 42L) () =
   let end_time, _ =
-    phase ~machine ~index ~service ~mix:Ycsb.Load_a ~kind ~loaded:0 ~theta:0.0 ~seed
-      ~threads ~total_ops:loaded ~start:0.0
+    phase ~machine ~index ~service ~obs:None ~mix:Ycsb.Load_a ~kind ~loaded:0 ~theta:0.0
+      ~seed ~threads ~total_ops:loaded ~start:0.0
   in
   end_time
 
-let run ~machine ~index ?service ~mix ~kind ~loaded ~ops ~threads ?load_threads
+let run ~machine ~index ?service ?obs ~mix ~kind ~loaded ~ops ~threads ?load_threads
     ?(theta = 0.99) ?(seed = 42L) ?(skip_load = false) () =
   let load_threads = Option.value ~default:threads load_threads in
   let start =
@@ -77,19 +109,40 @@ let run ~machine ~index ?service ~mix ~kind ~loaded ~ops ~threads ?load_threads
       load ~machine ~index ?service ~kind ~loaded ~threads:load_threads ~seed ()
     else 0.0
   in
+  (* Observe the measured phase only: the preparatory load would
+     otherwise swamp the phase/traffic attribution. *)
+  (match obs with Some o -> Obs.Span.install o.Obs.Recorder.span | None -> ());
   let before = Nvm.Stats.snapshot (Nvm.Machine.total_stats machine) in
   let end_time, latency =
-    match mix with
-    | Ycsb.Load_a ->
-        (* the load phase is the measurement *)
-        phase ~machine ~index ~service ~mix ~kind ~loaded:0 ~theta:0.0 ~seed ~threads
-          ~total_ops:ops ~start
-    | _ ->
-        phase ~machine ~index ~service ~mix ~kind ~loaded ~theta ~seed ~threads
-          ~total_ops:ops ~start
+    Fun.protect
+      ~finally:(fun () ->
+        match obs with Some o -> Obs.Span.uninstall o.Obs.Recorder.span | None -> ())
+      (fun () ->
+        match mix with
+        | Ycsb.Load_a ->
+            (* the load phase is the measurement *)
+            phase ~machine ~index ~service ~obs ~mix ~kind ~loaded:0 ~theta:0.0 ~seed
+              ~threads ~total_ops:ops ~start
+        | _ ->
+            phase ~machine ~index ~service ~obs ~mix ~kind ~loaded ~theta ~seed ~threads
+              ~total_ops:ops ~start)
   in
   let elapsed = end_time -. start in
   let nvm = Nvm.Stats.diff (Nvm.Machine.total_stats machine) before in
+  (match obs with
+  | Some o ->
+      let m = o.Obs.Recorder.metrics in
+      Obs.Metrics.add (Obs.Metrics.counter m "run.ops") ops;
+      Obs.Metrics.add (Obs.Metrics.counter m "run.flushes") nvm.Nvm.Stats.flushes;
+      Obs.Metrics.add (Obs.Metrics.counter m "run.fences") nvm.Nvm.Stats.fences;
+      Obs.Metrics.add
+        (Obs.Metrics.counter m "run.media_read_bytes")
+        (Nvm.Stats.total_read_bytes nvm);
+      Obs.Metrics.add
+        (Obs.Metrics.counter m "run.media_write_bytes")
+        (Nvm.Stats.total_write_bytes nvm);
+      Obs.Metrics.set (Obs.Metrics.gauge m "run.elapsed_s") elapsed
+  | None -> ());
   {
     mix;
     threads;

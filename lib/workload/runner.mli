@@ -24,11 +24,21 @@ type service = { body : unit -> unit; shutdown : unit -> unit }
 (** [run ~machine ~index ~mix ~kind ~loaded ~ops ~threads ()] executes
     load + run phases.  [theta] defaults to YCSB's 0.99 Zipfian; pass
     [0.] for uniform.  [skip_load] reuses an already-loaded index
-    (read-only mixes only).  [load_threads] defaults to [threads]. *)
+    (read-only mixes only).  [load_threads] defaults to [threads].
+
+    With [?obs], the measured phase (not the preparatory load) is
+    instrumented: the recorder's span tracer is installed for phase
+    attribution, its sampler (if any) runs on the phase's scheduler
+    and is stopped when the workers finish, latency-sampled operations
+    additionally record per-op flush/fence/media-byte histograms
+    (["op.*"] — approximate under concurrency, since deltas of the
+    shared machine counters include neighbours' traffic), and run
+    totals land in ["run.*"] counters. *)
 val run :
   machine:Nvm.Machine.t ->
   index:Baselines.Index_intf.index ->
   ?service:service ->
+  ?obs:Obs.Recorder.t ->
   mix:Ycsb.mix ->
   kind:Keyset.kind ->
   loaded:int ->

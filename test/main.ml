@@ -13,4 +13,5 @@ let () =
       ("tree", Test_tree.suite);
       ("baselines", Test_baselines.suite);
       ("workload", Test_workload.suite);
+      ("obs", Test_obs.suite);
     ]
