@@ -63,6 +63,15 @@ let low_bw_arg =
     value & flag
     & info [ "low-bandwidth" ] ~doc:"Use the low-bandwidth NVM machine profile (6.2).")
 
+let elide_arg =
+  Arg.(
+    value & flag
+    & info [ "elide" ]
+        ~doc:
+          "Actually skip redundant flushes (FliT-style elision) instead of only \
+           counting them.  Changes fence batching, so results are not comparable \
+           with non-elided runs line-by-line.")
+
 let obs_arg =
   Arg.(
     value
@@ -81,10 +90,11 @@ let write_json path json =
       output_string oc (Obs.Json.to_string json);
       output_char oc '\n')
 
-let run_ycsb sys mix keys ops threads theta string_keys directory low_bw obs_out =
+let run_ycsb sys mix keys ops threads theta string_keys directory low_bw elide obs_out =
   let protocol = if directory then Nvm.Config.Directory else Nvm.Config.Snoop in
   let profile = if low_bw then Nvm.Config.dcpmm_low_bw else Nvm.Config.dcpmm in
   let machine = Nvm.Machine.create ~profile ~protocol ~numa_count:2 () in
+  Nvm.Machine.set_flush_elision machine elide;
   let scale = Experiments.Scale.make ~keys ~ops ~thread_counts:[] in
   let index, service = Experiments.Factory.make machine ~string_keys ~scale sys in
   let kind =
@@ -105,10 +115,12 @@ let run_ycsb sys mix keys ops threads theta string_keys directory low_bw obs_out
   let p q = Workload.Latency.percentile r.Workload.Runner.latency q *. 1e6 in
   Format.printf "latency    : p50 %.1f us, p99 %.1f us, p99.9 %.1f us, p99.99 %.1f us@."
     (p 50.) (p 99.) (p 99.9) (p 99.99);
-  Format.printf "NVM traffic: %.1f MB read, %.1f MB written, %d flushes, %d fences@."
+  Format.printf
+    "NVM traffic: %.1f MB read, %.1f MB written, %d flushes (+%d elided), %d fences@."
     (float_of_int (Nvm.Stats.total_read_bytes r.Workload.Runner.nvm) /. 1e6)
     (float_of_int (Nvm.Stats.total_write_bytes r.Workload.Runner.nvm) /. 1e6)
-    r.Workload.Runner.nvm.Nvm.Stats.flushes r.Workload.Runner.nvm.Nvm.Stats.fences;
+    r.Workload.Runner.nvm.Nvm.Stats.flushes
+    r.Workload.Runner.nvm.Nvm.Stats.flushes_elided r.Workload.Runner.nvm.Nvm.Stats.fences;
   match (obs_out, obs) with
   | Some path, Some o ->
       Format.printf "%a@." Obs.Span.pp_table o.Obs.Recorder.span;
@@ -123,7 +135,7 @@ let ycsb_cmd =
     (Cmd.info "ycsb" ~doc)
     Term.(
       const run_ycsb $ index_arg $ mix_arg $ keys_arg $ ops_arg $ threads_arg
-      $ theta_arg $ string_keys_arg $ protocol_arg $ low_bw_arg $ obs_arg)
+      $ theta_arg $ string_keys_arg $ protocol_arg $ low_bw_arg $ elide_arg $ obs_arg)
 
 let figure_names =
   [
@@ -199,7 +211,7 @@ let stats_systems =
     Experiments.Factory.Fastfair_sys;
   ]
 
-let run_stats quick out check threads =
+let run_stats quick sanitize out check threads =
   match check with
   | Some path -> (
       match Obs.Report.validate_file path with
@@ -213,14 +225,27 @@ let run_stats quick out check threads =
         else Experiments.Scale.quick
       in
       let mix = Workload.Ycsb.Workload_a in
+      let hazards = ref [] in
       let entries =
         List.map
           (fun sys ->
             let entry, obs =
-              Experiments.Obs_run.bench_entry ~scale ~mix ~threads sys
+              Experiments.Obs_run.bench_entry ~scale ~mix ~threads ~sanitize sys
             in
             Format.printf "%a@." Obs.Report.pp_entry entry;
             Format.printf "%a@." Obs.Span.pp_table obs.Obs.Recorder.span;
+            if sanitize then begin
+              let name = Experiments.Factory.name sys in
+              match Pobj.Sanitizer.reports () with
+              | [] -> Format.printf "sanitizer  : clean (%s)@." name
+              | reports ->
+                  hazards := (name, Pobj.Sanitizer.total ()) :: !hazards;
+                  Format.printf "sanitizer  : %d unflushed store-lines (%s)@."
+                    (Pobj.Sanitizer.total ()) name;
+                  List.iter
+                    (fun r -> Format.printf "  %a@." Pobj.Sanitizer.pp_report r)
+                    reports
+            end;
             entry)
           stats_systems
       in
@@ -232,7 +257,14 @@ let run_stats quick out check threads =
       in
       Obs.Report.write_file out json;
       Format.printf "wrote %s (schema %s, %d systems)@." out Obs.Report.schema_version
-        (List.length entries)
+        (List.length entries);
+      if !hazards <> [] then begin
+        List.iter
+          (fun (name, n) ->
+            Format.eprintf "persist-order sanitizer: %d hazard(s) in %s@." n name)
+          (List.rev !hazards);
+        exit 1
+      end
 
 let stats_cmd =
   let doc =
@@ -241,6 +273,14 @@ let stats_cmd =
   in
   let quick_arg =
     Arg.(value & flag & info [ "quick" ] ~doc:"Reduced scale for CI (seconds).")
+  in
+  let sanitize_arg =
+    Arg.(
+      value & flag
+      & info [ "sanitize" ]
+          ~doc:
+            "Run the persist-order sanitizer during the benchmark and fail (exit 1) on \
+             any store left unflushed at its thread's ordering point.")
   in
   let out_arg =
     Arg.(
@@ -257,7 +297,7 @@ let stats_cmd =
   in
   Cmd.v
     (Cmd.info "stats" ~doc)
-    Term.(const run_stats $ quick_arg $ out_arg $ check_arg $ threads_arg)
+    Term.(const run_stats $ quick_arg $ sanitize_arg $ out_arg $ check_arg $ threads_arg)
 
 (* ---------- crashmc: systematic crash-state model checking ---------- *)
 
@@ -307,27 +347,59 @@ let run_crashmc index_name ops budget max_states seed workload mutate =
           end)
         kinds;
       (* Mutation mode: drop one clwb late in the run and demand the
-         checker notices — proof the oracle has teeth. *)
+         checker notices — proof the oracle has teeth.  The persist-
+         order sanitizer rides along as a cross-check.  A mutant whose
+         dropped clwb is made redundant by a later flush of the same
+         line is harmless — neither oracle can (or should) flag it —
+         so the invariant is per-mutant containment: every mutant the
+         exhaustive checker convicts must also be flagged dynamically
+         (the lint is at least as sensitive as the oracle on
+         missing-flush bugs), and at least one injected mutant must be
+         flagged overall. *)
       if mutate then
         List.iter
           (fun kind ->
             let killed = ref 0 and tried = ref 0 in
+            let injected = ref 0 and san_caught = ref 0 in
             let k = ref 1 in
             while !tried < 6 do
               incr tried;
               let sut = Crashmc.Sut.make kind in
-              Nvm.Machine.set_flush_fault (Crashmc.Sut.machine sut) (Some !k);
+              let m = Crashmc.Sut.machine sut in
+              Nvm.Machine.set_flush_fault m (Some !k);
+              Pobj.Sanitizer.enable m;
               let r =
                 Crashmc.Harness.run ~budget_per_point:budget ~max_states ~seed
                   ~max_violations:1 ~sut ~ops:(make_ops ()) ()
               in
-              if not (Crashmc.Harness.ok r) then incr killed;
+              let fired = Nvm.Machine.flush_fault_fired m in
+              let flagged = fired && Pobj.Sanitizer.total () > 0 in
+              if fired then begin
+                incr injected;
+                if flagged then incr san_caught
+              end;
+              Pobj.Sanitizer.disable m;
+              if not (Crashmc.Harness.ok r) then begin
+                incr killed;
+                if not flagged then begin
+                  Format.printf
+                    "  sanitizer missed a checker-convicted mutant (clwb %d) — seed %d@."
+                    !k seed;
+                  failed := true
+                end
+              end;
               k := !k * 3
             done;
             Format.printf "%s mutation check: %d/%d dropped-clwb mutants caught@."
               (Crashmc.Sut.name kind) !killed !tried;
+            Format.printf "%s sanitizer cross-check: %d/%d injected mutants flagged@."
+              (Crashmc.Sut.name kind) !san_caught !injected;
             if !killed = 0 then begin
               Format.printf "  no mutant caught — checker has no teeth? seed %d@." seed;
+              failed := true
+            end;
+            if !san_caught = 0 then begin
+              Format.printf "  sanitizer flagged no mutant at all — seed %d@." seed;
               failed := true
             end)
           kinds;

@@ -25,6 +25,7 @@ module Heap = Pmalloc.Heap
 module Pptr = Pmalloc.Pptr
 module Key = Pactree.Key
 module Vlock = Pactree.Vlock
+module Layout = Pobj.Layout
 
 let name = "FastFair"
 
@@ -35,19 +36,31 @@ exception Restart
    24 leftmost child (internal only)   32 records: (krep 8, val 8) * cap *)
 let cap = 27
 
-let off_lock = 0
+let hdr = Layout.create "fastfair.node"
 
-let off_leaf = 8
+let f_lock = Layout.word ~transient:true hdr "lock"
 
-let off_count = 10
+let f_leaf = Layout.u8 ~at:8 hdr "leaf"
 
-let off_next = 16
+let f_count = Layout.u16 ~at:10 hdr "count"
 
-let off_leftmost = 24
+let f_next = Layout.word ~at:16 hdr "next"
 
-let off_recs = 32
+let f_leftmost = Layout.word ~at:24 hdr "leftmost"
 
-let node_size = off_recs + (cap * 16)
+let f_recs = Layout.slots ~at:32 hdr "recs" ~stride:16 ~count:cap
+
+let node_size = Layout.seal hdr
+
+let off_lock = Layout.off f_lock
+
+let off_leaf = Layout.off f_leaf
+
+let off_count = Layout.off f_count
+
+let off_next = Layout.off f_next
+
+let off_leftmost = Layout.off f_leftmost
 
 let gen = 1
 
@@ -58,7 +71,7 @@ type t = {
   string_keys : bool;
 }
 
-type node = { pool : Pool.t; off : int }
+type node = Pobj.obj = { pool : Pool.t; off : int }
 
 let node_of ptr = { pool = Pmalloc.Registry.resolve ptr; off = Pptr.off ptr }
 
@@ -66,21 +79,23 @@ let to_ptr n = Pptr.make ~pool:(Pool.id n.pool) ~off:n.off
 
 let lockh n = { Vlock.pool = n.pool; off = n.off + off_lock }
 
-let is_leaf n = Pool.read_u8 n.pool (n.off + off_leaf) = 1
+let is_leaf n = Pobj.read_u8 n (off_leaf) = 1
 
-let count n = Pool.read_u16 n.pool (n.off + off_count)
+let count n = Pobj.read_u16 n (off_count)
 
-let set_count n c = Pool.write_u16 n.pool (n.off + off_count) c
+let set_count n c = Pobj.write_u16 n (off_count) c
 
-let next n = Pool.read_int n.pool (n.off + off_next)
+let next n = Pobj.read_int n (off_next)
 
-let leftmost n = Pool.read_int n.pool (n.off + off_leftmost)
+let leftmost n = Pobj.read_int n (off_leftmost)
 
-let rec_off n i = n.off + off_recs + (i * 16)
+let rec_rel i = Layout.slot f_recs i
 
-let krep_at n i = Pool.read_int64 n.pool (rec_off n i)
+let rec_off n i = n.off + rec_rel i
 
-let val_at n i = Pool.read_int n.pool (rec_off n i + 8)
+let krep_at n i = Pobj.read_i64 n (rec_rel i)
+
+let val_at n i = Pobj.read_int n (rec_rel i + 8)
 
 (* Key representation: integer keys embed the 8 big-endian bytes (so
    unsigned int64 comparison = key order); string keys embed a
@@ -88,11 +103,10 @@ let val_at n i = Pool.read_int n.pool (rec_off n i + 8)
 let krep_of_key t (k : Key.t) =
   if t.string_keys then begin
     let ptr = Heap.alloc t.heap (1 + String.length k) in
-    let pool = Pmalloc.Registry.resolve ptr in
-    let off = Pptr.off ptr in
-    Pool.write_u8 pool off (String.length k);
-    Pool.write_string pool (off + 1) k;
-    Pool.persist pool off (1 + String.length k);
+    let o = Pobj.make (Pmalloc.Registry.resolve ptr) (Pptr.off ptr) in
+    Pobj.write_u8 o 0 (String.length k);
+    Pobj.write_string o 1 k;
+    Pobj.persist o 0 (1 + String.length k);
     Int64.of_int ptr
   end
   else String.get_int64_be (Key.to_radix k ^ "\000\000\000\000\000\000\000") 0
@@ -100,10 +114,9 @@ let krep_of_key t (k : Key.t) =
 let key_of_krep t krep =
   if t.string_keys then begin
     let ptr = Int64.to_int krep in
-    let pool = Pmalloc.Registry.resolve ptr in
-    let off = Pptr.off ptr in
-    let len = Pool.read_u8 pool off in
-    Pool.read_string pool (off + 1) len
+    let o = Pobj.make (Pmalloc.Registry.resolve ptr) (Pptr.off ptr) in
+    let len = Pobj.read_u8 o 0 in
+    Pobj.read_string o 1 len
   end
   else begin
     let b = Bytes.create 8 in
@@ -116,10 +129,9 @@ let key_of_krep t krep =
 let cmp_slot t n i ~probe_rep ~probe_key =
   if t.string_keys then begin
     let ptr = Int64.to_int (krep_at n i) in
-    let pool = Pmalloc.Registry.resolve ptr in
-    let off = Pptr.off ptr in
-    let len = Pool.read_u8 pool off in
-    Pool.compare_string pool (off + 1) len probe_key
+    let o = Pobj.make (Pmalloc.Registry.resolve ptr) (Pptr.off ptr) in
+    let len = Pobj.read_u8 o 0 in
+    Pobj.compare_string o 1 len probe_key
   end
   else Int64.unsigned_compare (krep_at n i) probe_rep
 
@@ -146,9 +158,9 @@ let child_for t n ~probe_rep ~probe_key =
 let alloc_node t ~leaf =
   let ptr = Heap.alloc t.heap node_size in
   let n = node_of ptr in
-  Pool.fill_zero n.pool n.off node_size;
+  Pobj.fill_zero n 0 node_size;
   Vlock.init (lockh n) ~gen;
-  Pool.write_u8 n.pool (n.off + off_leaf) (Bool.to_int leaf);
+  Pobj.write_u8 n (off_leaf) (Bool.to_int leaf);
   (n, ptr)
 
 let create machine ?(string_keys = false) ?(capacity = 1 lsl 26) () =
@@ -160,12 +172,13 @@ let create machine ?(string_keys = false) ?(capacity = 1 lsl 26) () =
   Pmalloc.Registry.register meta;
   let t = { machine; heap; meta; string_keys } in
   let root, rptr = alloc_node t ~leaf:true in
-  Pool.persist root.pool root.off node_size;
-  Pool.write_int meta 0 rptr;
-  Pool.persist meta 0 8;
+  Pobj.persist root 0 node_size;
+  let mo = Pobj.make meta 0 in
+  Pobj.write_int mo 0 rptr;
+  Pobj.persist mo 0 8;
   t
 
-let root t = node_of (Pool.read_int t.meta 0)
+let root t = node_of (Pobj.read_int (Pobj.make t.meta 0) 0)
 
 (* ---------- reads ---------- *)
 
@@ -185,7 +198,7 @@ let check h v = if not (Vlock.validate h ~gen ~version:v) then raise Restart
 (* The root pointer is read without a lock; after pinning the root
    node (optimistically or exclusively) we must confirm it is still
    the root, else a concurrent root split could hide keys. *)
-let confirm_root t n = Pool.read_int t.meta 0 = to_ptr n
+let confirm_root t n = Pobj.read_int (Pobj.make t.meta 0) 0 = to_ptr n
 
 let lookup t key =
   let probe_rep = if t.string_keys then 0L else krep_of_key t key in
@@ -225,10 +238,10 @@ let record_bytes krep v =
   Bytes.set_int64_le b 8 (Int64.of_int v);
   Bytes.unsafe_to_string b
 
-let set_record n i krep v = Pool.write_string n.pool (rec_off n i) (record_bytes krep v)
+let set_record n i krep v = Pobj.write_string n (rec_rel i) (record_bytes krep v)
 
 let copy_record n ~src ~dst =
-  Pool.write_string n.pool (rec_off n dst) (Pool.read_string n.pool (rec_off n src) 16)
+  Pobj.write_string n (rec_rel dst) (Pobj.read_string n (rec_rel src) 16)
 
 let line_of n i = rec_off n i / 64
 
@@ -246,26 +259,26 @@ let insert_at t n i krep v =
   let c = count n in
   if i < c then begin
     copy_record n ~src:(c - 1) ~dst:c;
-    Pool.persist n.pool (rec_off n c) 16;
+    Pobj.persist n (rec_rel c) 16;
     set_count n (c + 1);
-    Pool.persist n.pool (n.off + off_count) 2;
+    Pobj.persist n (off_count) 2;
     for j = c - 1 downto i + 1 do
       copy_record n ~src:(j - 1) ~dst:j;
       if line_of n (j - 1) <> line_of n j then begin
-        Pool.clwb n.pool (rec_off n j);
-        Pool.fence n.pool
+        Pobj.clwb n (rec_rel j);
+        Pobj.fence n
       end
     done;
     set_record n i krep v;
-    Pool.clwb n.pool (rec_off n i);
-    Pool.fence n.pool
+    Pobj.clwb n (rec_rel i);
+    Pobj.fence n
   end
   else begin
     (* append: record durable before the count makes it visible *)
     set_record n i krep v;
-    Pool.persist n.pool (rec_off n i) 16;
+    Pobj.persist n (rec_rel i) 16;
     set_count n (c + 1);
-    Pool.persist n.pool (n.off + off_count) 2
+    Pobj.persist n (off_count) 2
   end
 
 (* Mirror image of [insert_at]: shift left-to-right with per-line
@@ -277,16 +290,16 @@ let remove_at t n i =
   for j = i to c - 2 do
     copy_record n ~src:(j + 1) ~dst:j;
     if line_of n (j + 1) <> line_of n j then begin
-      Pool.clwb n.pool (rec_off n j);
-      Pool.fence n.pool
+      Pobj.clwb n (rec_rel j);
+      Pobj.fence n
     end
   done;
   if c - 1 > i then begin
-    Pool.clwb n.pool (rec_off n (c - 2));
-    Pool.fence n.pool
+    Pobj.clwb n (rec_rel (c - 2));
+    Pobj.fence n
   end;
   set_count n (c - 1);
-  Pool.persist n.pool (n.off + off_count) 2
+  Pobj.persist n (off_count) 2
 
 (* Split a locked, full node; returns (separator krep, new right node
    pointer).  The new node is persisted before being linked (logless
@@ -299,18 +312,18 @@ let split_node t n =
   let sep = krep_at n mid in
   let moved = c - move_from in
   for j = 0 to moved - 1 do
-    Pool.write_int64 right.pool (rec_off right j) (krep_at n (move_from + j));
-    Pool.write_int right.pool (rec_off right j + 8) (val_at n (move_from + j))
+    Pobj.write_i64 right (rec_rel j) (krep_at n (move_from + j));
+    Pobj.write_int right (rec_rel j + 8) (val_at n (move_from + j))
   done;
   set_count right moved;
   if not (is_leaf n) then
-    Pool.write_int right.pool (right.off + off_leftmost) (val_at n mid);
-  Pool.write_int right.pool (right.off + off_next) (next n);
-  Pool.persist right.pool right.off node_size;
-  Pool.write_int n.pool (n.off + off_next) rptr;
-  Pool.persist n.pool (n.off + off_next) 8;
+    Pobj.write_int right (off_leftmost) (val_at n mid);
+  Pobj.write_int right (off_next) (next n);
+  Pobj.persist right 0 node_size;
+  Pobj.write_int n (off_next) rptr;
+  Pobj.persist n (off_next) 8;
   set_count n mid;
-  Pool.persist n.pool (n.off + off_count) 2;
+  Pobj.persist n (off_count) 2;
   (sep, rptr)
 
 (* Write descent with lock coupling (as in the real FastFair): each
@@ -334,10 +347,9 @@ let insert t key value =
   let cmp_sep sep =
     if t.string_keys then begin
       let ptr = Int64.to_int sep in
-      let pool = Pmalloc.Registry.resolve ptr in
-      let off = Pptr.off ptr in
-      let len = Pool.read_u8 pool off in
-      Pool.compare_string pool (off + 1) len probe_key
+      let o = Pobj.make (Pmalloc.Registry.resolve ptr) (Pptr.off ptr) in
+      let len = Pobj.read_u8 o 0 in
+      Pobj.compare_string o 1 len probe_key
     end
     else Int64.unsigned_compare sep probe_rep
   in
@@ -346,10 +358,9 @@ let insert t key value =
     if t.string_keys then begin
       let ka = key_of_krep t a in
       let pb = Int64.to_int b in
-      let pool = Pmalloc.Registry.resolve pb in
-      let off = Pptr.off pb in
-      let len = Pool.read_u8 pool off in
-      -Pool.compare_string pool (off + 1) len ka
+      let o = Pobj.make (Pmalloc.Registry.resolve pb) (Pptr.off pb) in
+      let len = Pobj.read_u8 o 0 in
+      -Pobj.compare_string o 1 len ka
     end
     else Int64.unsigned_compare a b
   in
@@ -385,8 +396,8 @@ let insert t key value =
       let i = lower_bound t n ~probe_rep ~probe_key in
       if i < count n && cmp_slot t n i ~probe_rep ~probe_key = 0 then begin
         (* upsert: 8B atomic value store *)
-        Pool.write_int n.pool (rec_off n i + 8) value;
-        Pool.persist n.pool (rec_off n i + 8) 8;
+        Pobj.write_int n (rec_rel i + 8) value;
+        Pobj.persist n (rec_rel i + 8) 8;
         release ();
         anc ();
         None
@@ -450,13 +461,14 @@ let insert t key value =
       (* root split: build a new root.  The old root's lock is still
          held, so nobody else can replace it concurrently. *)
       let nr, nrptr = alloc_node t ~leaf:false in
-      Pool.write_int nr.pool (nr.off + off_leftmost) (to_ptr r);
-      Pool.write_int64 nr.pool (rec_off nr 0) sep;
-      Pool.write_int nr.pool (rec_off nr 0 + 8) rptr;
+      Pobj.write_int nr (off_leftmost) (to_ptr r);
+      Pobj.write_i64 nr (rec_rel 0) sep;
+      Pobj.write_int nr (rec_rel 0 + 8) rptr;
       set_count nr 1;
-      Pool.persist nr.pool nr.off node_size;
-      Pool.write_int t.meta 0 nrptr;
-      Pool.persist t.meta 0 8;
+      Pobj.persist nr 0 node_size;
+      let mo = Pobj.make t.meta 0 in
+      Pobj.write_int mo 0 nrptr;
+      Pobj.persist mo 0 8;
       release_root ()
 
 
@@ -474,8 +486,8 @@ let update t key value =
       let i = lower_bound t n ~probe_rep ~probe_key:key in
       let found = i < count n && cmp_slot t n i ~probe_rep ~probe_key:key = 0 in
       if found then begin
-        Pool.write_int n.pool (rec_off n i + 8) value;
-        Pool.persist n.pool (rec_off n i + 8) 8
+        Pobj.write_int n (rec_rel i + 8) value;
+        Pobj.persist n (rec_rel i + 8) 8
       end;
       Vlock.release h ~gen ~version:wv;
       found
@@ -606,7 +618,7 @@ let recover t =
     if !kept <> c then begin
       List.iteri (fun i (kr, v) -> set_record n i kr v) (List.rev !keep);
       set_count n !kept;
-      Pool.persist n.pool n.off node_size
+      Pobj.persist n 0 node_size
     end;
     (match List.rev !keep with
     | (kr0, _) :: _ -> leaves := (kr0, to_ptr n) :: !leaves
@@ -630,10 +642,10 @@ let recover t =
     let n, ptr = alloc_node t ~leaf:false in
     (match group with
     | (kr0, p0) :: rest ->
-        Pool.write_int n.pool (n.off + off_leftmost) p0;
+        Pobj.write_int n (off_leftmost) p0;
         List.iteri (fun i (kr, p) -> set_record n i kr p) rest;
         set_count n (List.length rest);
-        Pool.persist n.pool n.off node_size;
+        Pobj.persist n 0 node_size;
         (kr0, ptr)
     | [] -> assert false)
   in
@@ -645,8 +657,9 @@ let recover t =
   let new_root =
     match List.rev !leaves with [] -> to_ptr first | level -> build level
   in
-  Pool.write_int t.meta 0 new_root;
-  Pool.persist t.meta 0 8
+  let mo = Pobj.make t.meta 0 in
+  Pobj.write_int mo 0 new_root;
+  Pobj.persist mo 0 8
 
 (* ---------- invariant check (tests) ---------- *)
 

@@ -24,6 +24,7 @@
 
 module Pool = Nvm.Pool
 module Pptr = Pmalloc.Pptr
+module Layout = Pobj.Layout
 
 type target = { pool : Pool.t; off : int; expected : int; desired : int }
 
@@ -34,13 +35,19 @@ let stripe_of tgt = (Pool.id tgt.pool * 8191) + (tgt.off lsr 3) land 1023
 (* Per-thread descriptor slots in a caller-provided pool: a 16-byte
    header (status word: state in bits 0-3, word count in bits 8+)
    followed by up to 7 (pptr, desired) entry pairs. *)
-let descriptor_size = 128
+let max_targets = 7
+
+let dl = Layout.create "pmwcas.descriptor"
+
+let f_status = Layout.word dl "status"
+
+let f_entries = Layout.slots ~at:16 dl "entries" ~stride:16 ~count:max_targets
+
+let descriptor_size = Layout.seal ~size:128 dl
 
 let slots = 256
 
 let region_size = slots * descriptor_size
-
-let max_targets = 7
 
 let st_undecided = 1
 
@@ -62,39 +69,42 @@ let execute ~desc_pool ~desc_base targets =
   let mutex = stripes.(stripe_of first land 1023) in
   Des.Sync.Mutex.with_lock mutex @@ fun () ->
   (* 1. Write and persist the descriptor. *)
-  let doff = desc_off desc_base in
+  let d = Pobj.make desc_pool (desc_off desc_base) in
   let n = List.length targets in
   List.iteri
     (fun i tgt ->
-      let entry = doff + 16 + (i * 16) in
-      Pool.write_int desc_pool entry (Pptr.make ~pool:(Pool.id tgt.pool) ~off:tgt.off);
-      Pool.write_int desc_pool (entry + 8) tgt.desired)
+      let entry = Layout.slot f_entries i in
+      Pobj.write_int d entry (Pptr.make ~pool:(Pool.id tgt.pool) ~off:tgt.off);
+      Pobj.write_int d (entry + 8) tgt.desired)
     targets;
-  Pool.write_int desc_pool doff (st_undecided lor (n lsl 8));
-  Pool.persist desc_pool doff descriptor_size;
+  Pobj.set_int d f_status (st_undecided lor (n lsl 8));
+  Pobj.persist_obj d dl;
   (* 2. Install phase: validate, persist the success verdict, then
      install each word (a CAS with persist per word in the real
      protocol).  The verdict must be durable before the first install
      so recovery can tell a partial install from a no-op. *)
-  let ok = List.for_all (fun tgt -> Pool.read_int tgt.pool tgt.off = tgt.expected) targets in
+  let ok =
+    List.for_all (fun tgt -> Pobj.read_int (Pobj.make tgt.pool tgt.off) 0 = tgt.expected) targets
+  in
   if ok then begin
-    Pool.write_int desc_pool doff (st_succeeded lor (n lsl 8));
-    Pool.persist desc_pool doff 8;
+    Pobj.set_int d f_status (st_succeeded lor (n lsl 8));
+    Pobj.persist_field d f_status;
     List.iter
       (fun tgt ->
-        Pool.write_int tgt.pool tgt.off tgt.desired;
-        Pool.clwb tgt.pool tgt.off)
+        let o = Pobj.make tgt.pool tgt.off in
+        Pobj.write_int o 0 tgt.desired;
+        Pobj.clwb o 0)
       targets;
-    Pool.fence first.pool;
+    Pobj.fence d;
     (* 3. Finalise. *)
-    Pool.write_int desc_pool doff 0;
-    Pool.persist desc_pool doff 8
+    Pobj.set_int d f_status 0;
+    Pobj.persist_field d f_status
   end
   else begin
     stats.failures <- stats.failures + 1;
     (* failed attempt still persisted its status flip *)
-    Pool.write_int desc_pool doff 0;
-    Pool.persist desc_pool doff 8
+    Pobj.set_int d f_status 0;
+    Pobj.persist_field d f_status
   end;
   ok
 
@@ -106,23 +116,23 @@ let execute ~desc_pool ~desc_base targets =
 let recover ~desc_pool ~desc_base =
   let replayed = ref 0 in
   for slot = 0 to slots - 1 do
-    let doff = desc_base + (slot * descriptor_size) in
-    let s = Pool.read_int desc_pool doff in
+    let d = Pobj.make desc_pool (desc_base + (slot * descriptor_size)) in
+    let s = Pobj.get_int d f_status in
     if s <> 0 then begin
       if s land 0xF = st_succeeded then begin
         incr replayed;
         let n = s lsr 8 in
         for i = 0 to n - 1 do
-          let entry = doff + 16 + (i * 16) in
-          let ptr = Pool.read_int desc_pool entry in
-          let desired = Pool.read_int desc_pool (entry + 8) in
-          let pool = Pmalloc.Registry.resolve ptr in
-          Pool.write_int pool (Pptr.off ptr) desired;
-          Pool.persist pool (Pptr.off ptr) 8
+          let entry = Layout.slot f_entries i in
+          let ptr = Pobj.read_int d entry in
+          let desired = Pobj.read_int d (entry + 8) in
+          let o = Pobj.make (Pmalloc.Registry.resolve ptr) (Pptr.off ptr) in
+          Pobj.write_int o 0 desired;
+          Pobj.persist o 0 8
         done
       end;
-      Pool.write_int desc_pool doff 0;
-      Pool.persist desc_pool doff 8
+      Pobj.set_int d f_status 0;
+      Pobj.persist_field d f_status
     end
   done;
   !replayed

@@ -31,6 +31,7 @@ let entry_of_result ~name ~keys (r : Runner.result) (obs : Obs.Recorder.t) =
         (fun row -> (Obs.Span.phase_name row.Obs.Span.r_phase, row.Obs.Span.r_seconds *. 1e6))
         (Obs.Span.rows obs.Obs.Recorder.span);
     e_flushes_per_op = per_op nvm.Stats.flushes;
+    e_flushes_elided_per_op = per_op nvm.Stats.flushes_elided;
     e_fences_per_op = per_op nvm.Stats.fences;
     e_media_read_bytes_per_op = per_op (Stats.total_read_bytes nvm);
     e_media_write_bytes_per_op = per_op (Stats.total_write_bytes nvm);
@@ -38,12 +39,17 @@ let entry_of_result ~name ~keys (r : Runner.result) (obs : Obs.Recorder.t) =
     e_write_amplification = Stats.write_amplification nvm;
   }
 
-let bench_entry ?(string_keys = false) ?(theta = 0.99) ~scale ~mix ~threads sys =
+let bench_entry ?(string_keys = false) ?(theta = 0.99) ?(sanitize = false) ~scale ~mix
+    ~threads sys =
   Gc.compact ();
   let machine = Machine.create ~numa_count:2 () in
   let index, service = Factory.make machine ~string_keys ~scale sys in
   let obs = Obs.Recorder.create machine () in
   let kind = if string_keys then Keyset.String_keys else Keyset.Int_keys in
+  (* Enabled before load+run so the whole lifetime is linted; the
+     caller reads {!Pobj.Sanitizer.reports} afterwards (the next
+     [enable] — or process exit — retires this machine's observer). *)
+  if sanitize then Pobj.Sanitizer.enable machine;
   let r =
     Runner.run ~machine ~index ?service ~obs ~mix ~kind ~loaded:scale.Scale.keys
       ~ops:scale.Scale.ops ~threads ~theta ()

@@ -13,6 +13,11 @@ type trace_event =
   | Ev_fence of { tid : int }
   | Ev_drain of { pool : int; line : int; data : string }
 
+type persist_event =
+  | Pe_store of { tid : int; pool : int; line : int }
+  | Pe_clwb of { tid : int; pool : int; line : int }
+  | Pe_fence of { tid : int }
+
 type pool_view = {
   pv_id : int;
   pv_name : string;
@@ -33,9 +38,11 @@ type t = {
   mutable next_pool_id : int;
   mutable crash_hooks : (crash_mode -> unit) list;
   mutable tracer : (trace_event -> unit) option;
+  mutable persist_observer : (persist_event -> unit) option;
   mutable pool_views : pool_view list; (* reversed creation order *)
   mutable flush_fault : int option; (* drop the k-th clwb since set *)
   mutable flush_seen : int;
+  mutable flush_elision : bool; (* skip redundant clwbs instead of just counting *)
   mutable wait_observer : (float -> unit) option;
       (* called with each fence's simulated stall, for phase attribution *)
 }
@@ -53,9 +60,11 @@ let create ?(profile = Config.dcpmm) ?(protocol = Config.Snoop) ~numa_count () =
     next_pool_id = 0;
     crash_hooks = [];
     tracer = None;
+    persist_observer = None;
     pool_views = [];
     flush_fault = None;
     flush_seen = 0;
+    flush_elision = false;
     wait_observer = None;
   }
 
@@ -64,6 +73,10 @@ let set_wait_observer t f = t.wait_observer <- f
 let set_tracer t f = t.tracer <- f
 
 let tracer t = t.tracer
+
+let set_persist_observer t f = t.persist_observer <- f
+
+let persist_observer t = t.persist_observer
 
 let register_pool_view t pv = t.pool_views <- pv :: t.pool_views
 
@@ -80,6 +93,13 @@ let flush_faulted t =
       let n = t.flush_seen in
       t.flush_seen <- n + 1;
       n = k
+
+let flush_fault_fired t =
+  match t.flush_fault with None -> false | Some k -> t.flush_seen > k
+
+let set_flush_elision t b = t.flush_elision <- b
+
+let flush_elision t = t.flush_elision
 
 let profile t = t.profile
 
@@ -148,6 +168,9 @@ let fence t =
   let tid = Des.Sched.current_id () in
   (match t.tracer with
   | Some emit -> emit (Ev_fence { tid })
+  | None -> ());
+  (match t.persist_observer with
+  | Some emit -> emit (Pe_fence { tid })
   | None -> ());
   match Hashtbl.find_opt t.staged tid with
   | None -> ()

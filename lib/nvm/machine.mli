@@ -87,6 +87,25 @@ val set_tracer : t -> (trace_event -> unit) option -> unit
 
 val tracer : t -> (trace_event -> unit) option
 
+(** {2 Persist observation (lightweight, for the pobj sanitizer)}
+
+    A second, independent hook: unlike the crashmc tracer it carries
+    no line data (cheap enough to leave on during benchmarks) and
+    stores carry the storing thread.  [Pe_clwb] is emitted for every
+    {e effective} clwb — including ones elided by flush tracking
+    (whose persistence obligation is already met) — but {e not} for
+    clwbs dropped by {!set_flush_fault}, which model a missing call.
+    eADR machines emit no [Pe_fence] (there is nothing to order). *)
+
+type persist_event =
+  | Pe_store of { tid : int; pool : int; line : int }
+  | Pe_clwb of { tid : int; pool : int; line : int }
+  | Pe_fence of { tid : int }
+
+val set_persist_observer : t -> (persist_event -> unit) option -> unit
+
+val persist_observer : t -> (persist_event -> unit) option
+
 (** A type-cycle-free handle on a pool (Pool depends on Machine), used
     by crashmc to snapshot and re-materialize media images. *)
 type pool_view = {
@@ -116,6 +135,27 @@ val set_flush_fault : t -> int option -> unit
 (** Consumes one clwb tick; [true] iff this clwb must be dropped.
     (Called by {!Pool.clwb}.) *)
 val flush_faulted : t -> bool
+
+(** [true] once the armed fault has actually dropped a clwb — i.e. the
+    mutation was really injected (enough clwbs happened). *)
+val flush_fault_fired : t -> bool
+
+(** {2 Flush elision (FliT-style tracking)}
+
+    {!Pool.clwb} always detects redundant flushes — the line is already
+    clean on media, or the calling thread staged it and has not stored
+    to it since — and counts them in {!Stats}[.flushes_elided].  With
+    elision {e off} (default) the redundant clwb is still executed in
+    full, so timings are bit-identical to a tracking-free machine and
+    the counter reports the elision {e opportunity}.  With elision
+    {e on} the redundant clwb skips staging and the media write
+    entirely (keeping only its CPU cost and FH4 cache invalidation),
+    which changes fence batching and therefore the whole simulated
+    schedule. *)
+
+val set_flush_elision : t -> bool -> unit
+
+val flush_elision : t -> bool
 
 (** {2 Observability} *)
 

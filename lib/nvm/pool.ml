@@ -10,6 +10,10 @@ type t = {
   cache : Bytes.t;
   media : Bytes.t; (* empty for volatile pools *)
   dirty : Bytes.t; (* bitset, one bit per 64B line *)
+  staged_by : (int, int) Hashtbl.t;
+      (* line -> thread that staged it with no store since; that
+         thread's pending fence will persist the current content, so
+         its own re-flushes of the line can be elided (FliT) *)
   capacity : int;
 }
 
@@ -29,6 +33,7 @@ let create machine ?(volatile = false) ~name ~numa ~capacity () =
       cache = Bytes.make capacity '\000';
       media = (if volatile then Bytes.empty else Bytes.make capacity '\000');
       dirty = Bytes.make ((lines + 7) / 8) '\000';
+      staged_by = Hashtbl.create 64;
       capacity;
     }
   in
@@ -50,6 +55,7 @@ let create machine ?(volatile = false) ~name ~numa ~capacity () =
             Bytes.blit img 0 pool.media 0 capacity;
             Bytes.blit img 0 pool.cache 0 capacity
           end;
+          Hashtbl.reset pool.staged_by;
           Bytes.fill pool.dirty 0 (Bytes.length pool.dirty) '\000');
     };
   let on_crash mode =
@@ -68,6 +74,7 @@ let create machine ?(volatile = false) ~name ~numa ~capacity () =
           done);
       Bytes.blit pool.media 0 pool.cache 0 capacity
     end;
+    Hashtbl.reset pool.staged_by;
     Bytes.fill pool.dirty 0 (Bytes.length pool.dirty) '\000'
   in
   Machine.on_crash machine on_crash;
@@ -148,7 +155,9 @@ let touch_range_write t off len =
   touch_range_k t off len ~write:true;
   let first = off lsr 6 and last = (off + len - 1) lsr 6 in
   for line = first to last do
-    mark_dirty t (line lsl 6)
+    mark_dirty t (line lsl 6);
+    (* A (possible) store invalidates the staged-snapshot elision. *)
+    Hashtbl.remove t.staged_by line
   done
 
 (* Report the post-store content of every line under [off, off+len) to
@@ -170,6 +179,24 @@ let trace_store t off len =
         done
       end
 
+(* Report stores to the (cheap) persist observer — the hook behind the
+   pobj persist-order sanitizer. *)
+let observe_store t off len =
+  match Machine.persist_observer t.machine with
+  | None -> ()
+  | Some emit ->
+      if (not t.volatile) && len > 0 then begin
+        let tid = Des.Sched.current_id () in
+        let first = off lsr 6 and last = (off + len - 1) lsr 6 in
+        for line = first to last do
+          emit (Machine.Pe_store { tid; pool = t.id; line })
+        done
+      end
+
+let record_store t off len =
+  trace_store t off len;
+  observe_store t off len
+
 let read_u8 t off =
   touch_range t off 1;
   Bytes.get_uint8 t.cache off
@@ -177,7 +204,7 @@ let read_u8 t off =
 let write_u8 t off v =
   touch_range_write t off 1;
   Bytes.set_uint8 t.cache off v;
-  trace_store t off 1
+  record_store t off 1
 
 let read_u16 t off =
   touch_range t off 2;
@@ -186,7 +213,7 @@ let read_u16 t off =
 let write_u16 t off v =
   touch_range_write t off 2;
   Bytes.set_uint16_le t.cache off v;
-  trace_store t off 2
+  record_store t off 2
 
 let read_u32 t off =
   touch_range t off 4;
@@ -195,7 +222,7 @@ let read_u32 t off =
 let write_u32 t off v =
   touch_range_write t off 4;
   Bytes.set_int32_le t.cache off (Int32.of_int v);
-  trace_store t off 4
+  record_store t off 4
 
 let read_int64 t off =
   if off land 7 <> 0 then
@@ -208,7 +235,7 @@ let write_int64 t off v =
     invalid_arg (Printf.sprintf "Pool %s: unaligned 8B write at %d" t.name off);
   touch_range_write t off 8;
   Bytes.set_int64_le t.cache off v;
-  trace_store t off 8
+  record_store t off 8
 
 let read_int t off = Int64.to_int (read_int64 t off)
 
@@ -223,7 +250,7 @@ let write_string t off s =
   if len > 0 then begin
     touch_range_write t off len;
     Bytes.blit_string s 0 t.cache off len;
-    trace_store t off len
+    record_store t off len
   end
 
 let blit_to_bytes t off buf pos len =
@@ -234,7 +261,7 @@ let fill_zero t off len =
   if len > 0 then begin
     touch_range_write t off len;
     Bytes.fill t.cache off len '\000';
-    trace_store t off len
+    record_store t off len
   end
 
 let compare_string t off len s =
@@ -283,37 +310,92 @@ let eadr_drain t off =
            })
   | None -> ()
 
+let observe_clwb t line =
+  match Machine.persist_observer t.machine with
+  | Some emit ->
+      emit (Machine.Pe_clwb { tid = Des.Sched.current_id (); pool = t.id; line })
+  | None -> ()
+
+(* FliT-style flush tracking: a clwb is redundant when the line is
+   already clean on media (cache == media), or when the calling thread
+   itself staged the line and has not stored to it since (its pending
+   fence persists exactly the current content).  A line staged by a
+   {e different} thread is not redundant: that thread's fence may
+   never come.  Redundant clwbs are always counted in
+   [Stats.flushes_elided]; whether they are actually {e elided} —
+   skipping staging, write-queue occupancy and the media write, which
+   perturbs fence batching and hence the whole simulated schedule — is
+   the machine's [flush_elision] switch (off by default, keeping the
+   schedule bit-identical to a tracking-free build).  Elided clwbs
+   still satisfy the persistence obligation, so they are reported to
+   the persist observer; faulted (dropped) clwbs are not — they model
+   a missing call.  The fault counter ticks only for executed clwbs so
+   mutation indices keep targeting real flushes. *)
 let clwb t off =
   if (Machine.profile t.machine).Config.eadr then begin
-    if not t.volatile then eadr_drain t off
+    if not t.volatile then begin
+      let line = off lsr 6 in
+      let redundant = lines_equal t line in
+      if redundant then begin
+        let stats = Machine.stats t.machine in
+        stats.Stats.flushes_elided <- stats.Stats.flushes_elided + 1
+      end;
+      if redundant && Machine.flush_elision t.machine then clear_dirty t line
+      else eadr_drain t off;
+      observe_clwb t line
+    end
   end
-  else if (not t.volatile) && not (Machine.flush_faulted t.machine) then begin
-    let stats = Machine.stats t.machine in
-    stats.Stats.flushes <- stats.Stats.flushes + 1;
-    let profile = Machine.profile t.machine in
-    Des.Sched.charge profile.Config.clwb_cpu_cost;
+  else if not t.volatile then begin
     let line = off lsr 6 in
-    let snapshot = Bytes.sub t.cache (line * line_size) line_size in
-    let apply () =
-      Bytes.blit snapshot 0 t.media (line * line_size) line_size;
-      if lines_equal t line then clear_dirty t line
+    let redundant =
+      lines_equal t line
+      || Hashtbl.find_opt t.staged_by line = Some (Des.Sched.current_id ())
     in
-    let g = gline t off in
-    Machine.stage t.machine
-      { Machine.pool_id = t.id; dev = t.dev; xpline = g lsr 2; apply };
-    (match Machine.tracer t.machine with
-    | Some emit ->
-        emit
-          (Machine.Ev_clwb
-             {
-               tid = Des.Sched.current_id ();
-               pool = t.id;
-               line;
-               data = Bytes.to_string snapshot;
-             })
-    | None -> ());
-    (* Current-generation clwb invalidates the line (FH4). *)
-    Machine.cache_invalidate t.machine g
+    if redundant && Machine.flush_elision t.machine then begin
+      let stats = Machine.stats t.machine in
+      stats.Stats.flushes_elided <- stats.Stats.flushes_elided + 1;
+      if lines_equal t line then clear_dirty t line;
+      (* The saving is the write-path work.  The instruction still
+         issues (the tracking check costs a few ns, folded into the
+         same charge) and still invalidates the line (FH4: clwb
+         invalidates whether or not the line was dirty), so the CPU
+         and cache-side timing stays comparable to an unelided run. *)
+      Des.Sched.charge (Machine.profile t.machine).Config.clwb_cpu_cost;
+      observe_clwb t line;
+      Machine.cache_invalidate t.machine (gline t off)
+    end
+    else if not (Machine.flush_faulted t.machine) then begin
+      let stats0 = Machine.stats t.machine in
+      if redundant then
+        stats0.Stats.flushes_elided <- stats0.Stats.flushes_elided + 1;
+      let stats = Machine.stats t.machine in
+      stats.Stats.flushes <- stats.Stats.flushes + 1;
+      let profile = Machine.profile t.machine in
+      Des.Sched.charge profile.Config.clwb_cpu_cost;
+      let snapshot = Bytes.sub t.cache (line * line_size) line_size in
+      let apply () =
+        Bytes.blit snapshot 0 t.media (line * line_size) line_size;
+        if lines_equal t line then clear_dirty t line
+      in
+      let g = gline t off in
+      Machine.stage t.machine
+        { Machine.pool_id = t.id; dev = t.dev; xpline = g lsr 2; apply };
+      Hashtbl.replace t.staged_by line (Des.Sched.current_id ());
+      (match Machine.tracer t.machine with
+      | Some emit ->
+          emit
+            (Machine.Ev_clwb
+               {
+                 tid = Des.Sched.current_id ();
+                 pool = t.id;
+                 line;
+                 data = Bytes.to_string snapshot;
+               })
+      | None -> ());
+      observe_clwb t line;
+      (* Current-generation clwb invalidates the line (FH4). *)
+      Machine.cache_invalidate t.machine g
+    end
   end
 
 let flush_range t off len =
@@ -342,7 +424,7 @@ let cas_int t off ~expected v =
   let cur = Int64.to_int (Bytes.get_int64_le t.cache off) in
   if cur = expected then begin
     Bytes.set_int64_le t.cache off (Int64.of_int v);
-    trace_store t off 8;
+    record_store t off 8;
     true
   end
   else false

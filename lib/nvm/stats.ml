@@ -13,6 +13,7 @@ type t = {
   mutable cache_misses : int;
   mutable remote_accesses : int;
   mutable flushes : int;
+  mutable flushes_elided : int;
   mutable fences : int;
   mutable logical_read_bytes : int;
   mutable logical_write_bytes : int;
@@ -34,6 +35,7 @@ let create () =
     cache_misses = 0;
     remote_accesses = 0;
     flushes = 0;
+    flushes_elided = 0;
     fences = 0;
     logical_read_bytes = 0;
     logical_write_bytes = 0;
@@ -54,6 +56,7 @@ let reset t =
   t.cache_misses <- 0;
   t.remote_accesses <- 0;
   t.flushes <- 0;
+  t.flushes_elided <- 0;
   t.fences <- 0;
   t.logical_read_bytes <- 0;
   t.logical_write_bytes <- 0
@@ -74,6 +77,7 @@ let snapshot t =
     cache_misses = t.cache_misses;
     remote_accesses = t.remote_accesses;
     flushes = t.flushes;
+    flushes_elided = t.flushes_elided;
     fences = t.fences;
     logical_read_bytes = t.logical_read_bytes;
     logical_write_bytes = t.logical_write_bytes;
@@ -95,6 +99,7 @@ let diff a b =
     cache_misses = a.cache_misses - b.cache_misses;
     remote_accesses = a.remote_accesses - b.remote_accesses;
     flushes = a.flushes - b.flushes;
+    flushes_elided = a.flushes_elided - b.flushes_elided;
     fences = a.fences - b.fences;
     logical_read_bytes = a.logical_read_bytes - b.logical_read_bytes;
     logical_write_bytes = a.logical_write_bytes - b.logical_write_bytes;
@@ -115,6 +120,7 @@ let add acc x =
   acc.cache_misses <- acc.cache_misses + x.cache_misses;
   acc.remote_accesses <- acc.remote_accesses + x.remote_accesses;
   acc.flushes <- acc.flushes + x.flushes;
+  acc.flushes_elided <- acc.flushes_elided + x.flushes_elided;
   acc.fences <- acc.fences + x.fences;
   acc.logical_read_bytes <- acc.logical_read_bytes + x.logical_read_bytes;
   acc.logical_write_bytes <- acc.logical_write_bytes + x.logical_write_bytes
@@ -124,7 +130,8 @@ let is_zero t =
   && t.media_write_bytes = 0 && t.rmw_reads = 0 && t.rmw_read_bytes = 0
   && t.dir_writes = 0 && t.dir_write_bytes = 0 && t.buffer_hits = 0
   && t.prefetches = 0 && t.cache_hits = 0 && t.cache_misses = 0
-  && t.remote_accesses = 0 && t.flushes = 0 && t.fences = 0
+  && t.remote_accesses = 0 && t.flushes = 0 && t.flushes_elided = 0
+  && t.fences = 0
   && t.logical_read_bytes = 0 && t.logical_write_bytes = 0
 
 let total_read_bytes t = t.media_read_bytes + t.rmw_read_bytes
@@ -146,8 +153,9 @@ let pp ppf t =
      logical: %d B read, %d B written (amplification %.2fx read / %.2fx write)@,\
      buffer hits: %d, prefetches: %d@,\
      cpu cache: %d hits / %d misses, remote: %d@,\
-     flushes: %d, fences: %d@]"
+     flushes: %d (+%d elided), fences: %d@]"
     t.media_reads t.media_read_bytes t.rmw_read_bytes t.media_writes
     t.media_write_bytes t.dir_write_bytes t.logical_read_bytes t.logical_write_bytes
     (read_amplification t) (write_amplification t) t.buffer_hits t.prefetches
-    t.cache_hits t.cache_misses t.remote_accesses t.flushes t.fences
+    t.cache_hits t.cache_misses t.remote_accesses t.flushes t.flushes_elided
+    t.fences

@@ -17,7 +17,11 @@ type t = {
   mutable cache_hits : int;  (** CPU cache hits *)
   mutable cache_misses : int;
   mutable remote_accesses : int;  (** cross-NUMA accesses *)
-  mutable flushes : int;  (** clwb instructions *)
+  mutable flushes : int;  (** clwb instructions that reached the device *)
+  mutable flushes_elided : int;
+      (** clwb instructions skipped by FliT-style flush tracking: the
+          line was already clean on media or already staged by this
+          thread, so the flush would have been redundant *)
   mutable fences : int;  (** sfence instructions *)
   mutable logical_read_bytes : int;
       (** bytes the program asked to read (denominator of FH2's read

@@ -14,6 +14,7 @@ type entry = {
   e_phase_pct : (string * float) list;
   e_phase_us : (string * float) list;
   e_flushes_per_op : float;
+  e_flushes_elided_per_op : float;
   e_fences_per_op : float;
   e_media_read_bytes_per_op : float;
   e_media_write_bytes_per_op : float;
@@ -48,6 +49,7 @@ let entry_json e =
         Json.Obj
           [
             ("flushes", Json.Float e.e_flushes_per_op);
+            ("flushes_elided", Json.Float e.e_flushes_elided_per_op);
             ("fences", Json.Float e.e_fences_per_op);
             ("media_read_bytes", Json.Float e.e_media_read_bytes_per_op);
             ("media_write_bytes", Json.Float e.e_media_write_bytes_per_op);
@@ -128,6 +130,7 @@ let validate_entry i e =
   in
   let* per_op = require_obj ctx "per_op" e in
   let* flushes = require_number (ctx ^ ".per_op") "flushes" per_op in
+  let* elided = require_number (ctx ^ ".per_op") "flushes_elided" per_op in
   let* fences = require_number (ctx ^ ".per_op") "fences" per_op in
   let* _ = require_number (ctx ^ ".per_op") "media_read_bytes" per_op in
   let* _ = require_number (ctx ^ ".per_op") "media_write_bytes" per_op in
@@ -140,7 +143,8 @@ let validate_entry i e =
       Error (ctx ^ ": latency percentiles not monotone")
     else Ok ()
   in
-  if flushes < 0.0 || fences < 0.0 then Error (ctx ^ ": negative per-op cost")
+  if flushes < 0.0 || elided < 0.0 || fences < 0.0 then
+    Error (ctx ^ ": negative per-op cost")
   else Ok ()
 
 let validate json =
@@ -190,7 +194,9 @@ let write_file path json =
 let pp_entry ppf e =
   Format.fprintf ppf
     "@[<v>%-10s %s %d thr: %.3f Mops/s, p50 %.1f us, p99 %.1f us, p99.99 %.1f us@,\
-     per op: %.2f flushes, %.2f fences, %.0f B read, %.0f B written (amp %.2fx/%.2fx)@]"
+     per op: %.2f flushes (+%.2f elided), %.2f fences, %.0f B read, %.0f B written \
+     (amp %.2fx/%.2fx)@]"
     e.e_index e.e_mix e.e_threads e.e_throughput_mops e.e_p50_us e.e_p99_us e.e_p9999_us
-    e.e_flushes_per_op e.e_fences_per_op e.e_media_read_bytes_per_op
+    e.e_flushes_per_op e.e_flushes_elided_per_op e.e_fences_per_op
+    e.e_media_read_bytes_per_op
     e.e_media_write_bytes_per_op e.e_read_amplification e.e_write_amplification

@@ -25,6 +25,7 @@ type entry = {
   e_phase_pct : (string * float) list;  (** over {!Span.all_phases} *)
   e_phase_us : (string * float) list;
   e_flushes_per_op : float;
+  e_flushes_elided_per_op : float;
   e_fences_per_op : float;
   e_media_read_bytes_per_op : float;
   e_media_write_bytes_per_op : float;

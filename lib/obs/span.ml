@@ -117,6 +117,14 @@ let uninstall t =
 let leaf phase seconds =
   match !current with Some t -> leaf_on t phase seconds | None -> ()
 
+let current_stack () =
+  match !current with
+  | None -> None
+  | Some t -> (
+      match Hashtbl.find_opt t.stacks (Des.Sched.current_id ()) with
+      | Some { contents = top :: _ } -> Some top.f_stack
+      | _ -> None)
+
 (* ---------- spans ---------- *)
 
 (* Effective clock of the calling simulated thread: the scheduler's

@@ -61,6 +61,11 @@ val with_phase : phase -> (unit -> 'a) -> 'a
     [p] as a child of the current span (used by the fence hook). *)
 val leaf : phase -> float -> unit
 
+(** The calling thread's current span path (e.g. ["smo;alloc"]), or
+    [None] outside any span / with no recorder installed.  Used by the
+    pobj persist-order sanitizer to attribute findings. *)
+val current_stack : unit -> string option
+
 (** {2 Reporting} *)
 
 type row = {

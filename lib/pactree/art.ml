@@ -23,10 +23,11 @@
 module Pool = Nvm.Pool
 module Pptr = Pmalloc.Pptr
 module Heap = Pmalloc.Heap
+module Layout = Pobj.Layout
 
 exception Restart
 
-type node = { pool : Pool.t; off : int }
+type node = Pobj.obj = { pool : Pool.t; off : int }
 
 type stats = {
   mutable restarts : int;
@@ -37,32 +38,45 @@ type stats = {
 type t = {
   heap : Heap.t;
   meta : Pool.t;
+  mo : Pobj.obj; (* meta pool as an object, fields per [meta_l] *)
   mutable gen : int;
   key_of_leaf : Pptr.t -> string;
   epoch : Epoch.t;
   stats : stats;
 }
 
-(* Node header layout. *)
-let off_lock = 0
+(* Node header layout (shared by all four node types; the key/index
+   and child arrays that follow are per-type, see the geometry
+   tables below). *)
+let hdr = Layout.create "art.node"
 
-let off_type = 8
+let f_lock = Layout.word ~transient:true hdr "lock"
 
-let off_plen = 9
+let f_type = Layout.u8 hdr "type"
 
-let off_count = 10
+let f_plen = Layout.u8 hdr "plen"
 
-let off_prefix = 16
+let f_count = Layout.u16 hdr "count"
+
+let f_prefix = Layout.bytes ~at:16 hdr "prefix" 16
+
+let hdr_size = Layout.seal hdr
+
+let off_lock = Layout.off f_lock
+
+let off_count = Layout.off f_count
+
+let off_prefix = Layout.off f_prefix
 
 (* 16 stored prefix bytes cover e.g. the paper's "user<digits>" string
    keys without the reconstruct-via-leaf fallback. *)
-let stored_prefix_max = 16
+let stored_prefix_max = Layout.field_size f_prefix
 
 (* Per-type geometry: type 0 = Node4, 1 = Node16, 2 = Node48,
    3 = Node256. *)
-let n4_keys = 32 (* Node16 keys share this offset *)
+let n4_keys = hdr_size (* Node16 keys share this offset *)
 
-let n48_index = 32
+let n48_index = hdr_size
 
 let children_off = [| 40; 48; 288; 32 |]
 
@@ -72,21 +86,30 @@ let node_size = [| 72; 176; 672; 2080 |]
 
 (* Meta-pool layout: generation, root pointer, root lock, then the
    per-thread pending log. *)
-let off_meta_gen = 8
-
-let off_meta_root = 16
-
-let off_meta_rootlock = 24
-
-let off_pending = 64
-
 let pending_threads = 256
 
 let pending_slots = 8
 
-let meta_size = off_pending + (pending_threads * pending_slots * 8)
+let meta_l = Layout.create "art.meta"
 
-let pending_off i slot = off_pending + (((i land (pending_threads - 1)) * pending_slots) + slot) * 8
+let f_meta_gen = Layout.word ~at:8 meta_l "gen"
+
+let f_meta_root = Layout.word meta_l "root"
+
+let f_meta_rootlock = Layout.word ~transient:true meta_l "rootlock"
+
+let f_pending =
+  Layout.slots ~at:64 meta_l "pending" ~stride:8
+    ~count:(pending_threads * pending_slots)
+
+let meta_size = Layout.seal meta_l
+
+let off_meta_root = Layout.off f_meta_root
+
+let off_meta_rootlock = Layout.off f_meta_rootlock
+
+let pending_off i slot =
+  Layout.slot f_pending (((i land (pending_threads - 1)) * pending_slots) + slot)
 
 (* ---------- node accessors ---------- *)
 
@@ -102,15 +125,15 @@ let node_of ptr =
   { pool; off }
 
 let ntype n =
-  let ty = Pool.read_u8 n.pool (n.off + off_type) in
+  let ty = Pobj.get_u8 n f_type in
   if ty > 3 then raise Restart (* speculative read of a non-node *);
   ty
 
-let plen n = Pool.read_u8 n.pool (n.off + off_plen)
+let plen n = Pobj.get_u8 n f_plen
 
-let count n = Pool.read_u16 n.pool (n.off + off_count)
+let count n = Pobj.get_u16 n f_count
 
-let set_count n c = Pool.write_u16 n.pool (n.off + off_count) c
+let set_count n c = Pobj.set_u16 n f_count c
 
 let lockh n = { Vlock.pool = n.pool; off = n.off + off_lock }
 
@@ -122,19 +145,23 @@ let node_version h ~gen =
   v
 
 
-let stored_prefix_byte n i = Pool.read_u8 n.pool (n.off + off_prefix + i)
+let stored_prefix_byte n i = Pobj.read_u8 n (off_prefix + i)
 
-let child_slot n ty i = n.off + children_off.(ty) + (8 * i)
+(* Base-relative offset of child slot [i]; [child_slot] is the
+   absolute form used for parent-slot records. *)
+let child_rel ty i = children_off.(ty) + (8 * i)
 
-let read_child n ty i = Pool.read_int n.pool (child_slot n ty i)
+let child_slot n ty i = n.off + child_rel ty i
 
-let key4_16 n i = Pool.read_u8 n.pool (n.off + n4_keys + i)
+let read_child n ty i = Pobj.read_int n (child_rel ty i)
+
+let key4_16 n i = Pobj.read_u8 n (n4_keys + i)
 
 (* All of a Node4/16's key bytes in one cache access (they share a
    line with the header). *)
-let keys4_16 n c = Pool.read_string n.pool (n.off + n4_keys) c
+let keys4_16 n c = Pobj.read_string n n4_keys c
 
-let idx48 n b = Pool.read_u8 n.pool (n.off + n48_index + b)
+let idx48 n b = Pobj.read_u8 n (n48_index + b)
 
 let byte_at rkey i = Char.code (String.unsafe_get rkey i)
 
@@ -285,12 +312,11 @@ let child_list n =
 (* ---------- persistence helpers ---------- *)
 
 let persist_node_image n =
-  Pool.flush_range n.pool n.off node_size.(ntype n);
-  Pool.fence n.pool
+  Pobj.flush n 0 node_size.(ntype n);
+  Pobj.fence n
 
-let persist n off len =
-  Pool.flush_range n.pool off len;
-  Pool.fence n.pool
+(* [persist n rel len]: base-relative targeted persistence. *)
+let persist n rel len = Pobj.persist n rel len
 
 (* ---------- pending log (allocation / retirement, §5.1(3)) ---------- *)
 
@@ -299,7 +325,7 @@ let free_pending_slots t =
   let rec go acc slot =
     if slot >= pending_slots then acc
     else
-      go (if Pool.read_int t.meta (pending_off tid slot) = 0 then acc + 1 else acc)
+      go (if Pobj.read_int t.mo (pending_off tid slot) = 0 then acc + 1 else acc)
         (slot + 1)
   in
   go 0 0
@@ -331,7 +357,7 @@ let find_free_pending t =
     if slot >= pending_slots then
       (* cannot happen: capacity was reserved before locking *)
       failwith "Art: pending log underflow (missing reservation)"
-    else if Pool.read_int t.meta (pending_off tid slot) = 0 then pending_off tid slot
+    else if Pobj.read_int t.mo (pending_off tid slot) = 0 then pending_off tid slot
     else scan (slot + 1)
   in
   scan 0
@@ -346,15 +372,15 @@ let alloc_node t ty =
   (node_of ptr, ptr, slot)
 
 let clear_pending t slot =
-  Pool.write_int t.meta slot 0;
-  Pool.clwb t.meta slot
+  Pobj.write_int t.mo slot 0;
+  Pobj.clwb t.mo slot
 
 (* Record a node about to become unreachable (CoW commit).  Must be
    persisted before the commit pointer swap. *)
 let log_retire t ptr =
   let slot = find_free_pending t in
-  Pool.write_int t.meta slot ptr;
-  Pool.persist t.meta slot 8;
+  Pobj.write_int t.mo slot ptr;
+  Pobj.persist t.mo slot 8;
   slot
 
 (* Free a retired node once no reader can hold it (two epochs). *)
@@ -367,13 +393,13 @@ let retire t ptr slot =
 (* ---------- node construction (on unpublished nodes) ---------- *)
 
 let init_node t n ty ~prefix_len ~prefix =
-  Pool.fill_zero n.pool n.off node_size.(ty);
+  Pobj.fill_zero n 0 node_size.(ty);
   Vlock.init (lockh n) ~gen:t.gen;
-  Pool.write_u8 n.pool (n.off + off_type) ty;
-  Pool.write_u8 n.pool (n.off + off_plen) prefix_len;
+  Pobj.set_u8 n f_type ty;
+  Pobj.set_u8 n f_plen prefix_len;
   let stored = min prefix_len stored_prefix_max in
   for i = 0 to stored - 1 do
-    Pool.write_u8 n.pool (n.off + off_prefix + i) (byte_at prefix i)
+    Pobj.write_u8 n (off_prefix + i) (byte_at prefix i)
   done
 
 (* Append a child without any ordering constraints — only valid on a
@@ -383,12 +409,12 @@ let raw_add_child n b ptr =
   let c = count n in
   (match ty with
   | 0 | 1 ->
-      Pool.write_u8 n.pool (n.off + n4_keys + c) b;
-      Pool.write_int n.pool (child_slot n ty c) ptr
+      Pobj.write_u8 n (n4_keys + c) b;
+      Pobj.write_int n (child_rel ty c) ptr
   | 2 ->
-      Pool.write_int n.pool (child_slot n ty c) ptr;
-      Pool.write_u8 n.pool (n.off + n48_index + b) (c + 1)
-  | _ -> Pool.write_int n.pool (child_slot n ty b) ptr);
+      Pobj.write_int n (child_rel ty c) ptr;
+      Pobj.write_u8 n (n48_index + b) (c + 1)
+  | _ -> Pobj.write_int n (child_rel ty b) ptr);
   set_count n (c + 1)
 
 (* ---------- prefix handling ---------- *)
@@ -410,7 +436,7 @@ let rec any_leaf t n =
    [depth]. *)
 let full_prefix t n ~depth =
   let pl = plen n in
-  if pl <= stored_prefix_max then Pool.read_string n.pool (n.off + off_prefix) pl
+  if pl <= stored_prefix_max then Pobj.read_string n off_prefix pl
   else begin
     let leaf_key = t.key_of_leaf (any_leaf t n) in
     if String.length leaf_key < depth + pl then raise Restart;
@@ -466,16 +492,18 @@ let with_retry t f =
 
 let root_lockh t = { Vlock.pool = t.meta; off = off_meta_rootlock }
 
-let read_root t = Pool.read_int t.meta off_meta_root
+let read_root t = Pobj.get_int t.mo f_meta_root
 
 let create ~heap ~meta ~epoch ~key_of_leaf =
   if Pool.capacity meta < meta_size then invalid_arg "Art.create: meta pool too small";
-  let gen = Pool.read_int meta off_meta_gen + 1 in
-  Pool.write_int meta off_meta_gen gen;
-  Pool.persist meta off_meta_gen 8;
+  let mo = Pobj.make meta 0 in
+  let gen = Pobj.get_int mo f_meta_gen + 1 in
+  Pobj.set_int mo f_meta_gen gen;
+  Pobj.persist_field mo f_meta_gen;
   {
     heap;
     meta;
+    mo;
     gen;
     key_of_leaf;
     epoch;
@@ -609,9 +637,14 @@ type insert_outcome = Inserted | Replaced of Pptr.t
    of the lock guarding that slot. *)
 type slot = { s_lock : Vlock.handle; s_version : int; s_pool : Pool.t; s_off : int }
 
+let slot_obj slot = Pobj.make slot.s_pool slot.s_off
+
+let read_slot slot = Pobj.read_int (slot_obj slot) 0
+
 let write_slot slot ptr =
-  Pool.write_int slot.s_pool slot.s_off ptr;
-  Pool.persist slot.s_pool slot.s_off 8
+  let o = slot_obj slot in
+  Pobj.write_int o 0 ptr;
+  Pobj.persist o 0 8
 
 let common_prefix_len a b start =
   let la = String.length a and lb = String.length b in
@@ -639,13 +672,13 @@ let add_child_inplace n b ptr =
   let c = count n in
   match ty with
   | 0 | 1 ->
-      Pool.write_u8 n.pool (n.off + n4_keys + c) b;
-      Pool.write_int n.pool (child_slot n ty c) ptr;
-      Pool.clwb n.pool (n.off + n4_keys + c);
-      Pool.clwb n.pool (child_slot n ty c);
-      Pool.fence n.pool;
+      Pobj.write_u8 n (n4_keys + c) b;
+      Pobj.write_int n (child_rel ty c) ptr;
+      Pobj.clwb n (n4_keys + c);
+      Pobj.clwb n (child_rel ty c);
+      Pobj.fence n;
       set_count n (c + 1);
-      persist n (n.off + off_count) 2
+      persist n off_count 2
   | 2 ->
       (* find a free physical slot by scanning the index *)
       let used = Array.make capacity.(ty) false in
@@ -655,20 +688,20 @@ let add_child_inplace n b ptr =
       done;
       let rec free_slot i = if used.(i) then free_slot (i + 1) else i in
       let s = free_slot 0 in
-      Pool.write_int n.pool (child_slot n ty s) ptr;
-      persist n (child_slot n ty s) 8;
+      Pobj.write_int n (child_rel ty s) ptr;
+      persist n (child_rel ty s) 8;
       (* Index publish is the commit point; count persists in its own
          epoch so a crash can only leave it high (early grow), never
          low (free-slot scan overrun). *)
-      Pool.write_u8 n.pool (n.off + n48_index + b) (s + 1);
-      persist n (n.off + n48_index + b) 1;
+      Pobj.write_u8 n (n48_index + b) (s + 1);
+      persist n (n48_index + b) 1;
       set_count n (c + 1);
-      persist n (n.off + off_count) 2
+      persist n off_count 2
   | _ ->
-      Pool.write_int n.pool (child_slot n ty b) ptr;
-      persist n (child_slot n ty b) 8;
+      Pobj.write_int n (child_rel ty b) ptr;
+      persist n (child_rel ty b) 8;
       set_count n (c + 1);
-      persist n (n.off + off_count) 2
+      persist n off_count 2
 
 let insert t rkey payload =
   Obs.Span.with_phase Obs.Span.Trie_search @@ fun () ->
@@ -715,7 +748,7 @@ let insert t rkey payload =
       raise Restart
     end;
     assert (depth + i < klen);
-    let old_ptr = Pool.read_int slot.s_pool slot.s_off in
+    let old_ptr = read_slot slot in
     let copy, _cptr, cslot = copy_with_prefix t n ~full ~cut:(i + 1) in
     let cptr_val = Pptr.make ~pool:(Pool.id copy.pool) ~off:copy.off in
     let n4, nptr, pslot = alloc_node t 0 in
@@ -740,7 +773,7 @@ let insert t rkey payload =
       release_parent ();
       raise Restart
     end;
-    let old_ptr = Pool.read_int slot.s_pool slot.s_off in
+    let old_ptr = read_slot slot in
     let ty = ntype n in
     assert (ty < 3);
     let big, bptr, bslot = alloc_node t (ty + 1) in
@@ -803,8 +836,8 @@ let insert t rkey payload =
   check rh ~gen rv;
   if Pptr.is_null root then begin
     if not (Vlock.try_upgrade rh ~gen ~version:rv) then raise Restart;
-    Pool.write_int t.meta off_meta_root tagged_payload;
-    Pool.persist t.meta off_meta_root 8;
+    Pobj.set_int t.mo f_meta_root tagged_payload;
+    Pobj.persist_field t.mo f_meta_root;
     Vlock.release rh ~gen ~version:(rv + 1);
     Inserted
   end
@@ -833,28 +866,28 @@ let remove_child_inplace n b =
            under one fence is not failure-atomic: on a Node16 they sit
            on different cache lines, and (new byte, old pointer) would
            route the moved key to the deleted child. *)
-        Pool.write_int n.pool (child_slot n ty i) Pptr.null;
-        persist n (child_slot n ty i) 8;
-        Pool.write_u8 n.pool (n.off + n4_keys + i) (key4_16 n last);
-        persist n (n.off + n4_keys + i) 1;
-        Pool.write_int n.pool (child_slot n ty i) (read_child n ty last);
-        persist n (child_slot n ty i) 8
+        Pobj.write_int n (child_rel ty i) Pptr.null;
+        persist n (child_rel ty i) 8;
+        Pobj.write_u8 n (n4_keys + i) (key4_16 n last);
+        persist n (n4_keys + i) 1;
+        Pobj.write_int n (child_rel ty i) (read_child n ty last);
+        persist n (child_rel ty i) 8
       end;
       set_count n last;
-      persist n (n.off + off_count) 2
+      persist n off_count 2
   | 2 ->
       (* The index clear commits the removal; count follows in its own
          epoch so it can only lag *high* — a low count would make the
          in-place add's free-slot scan run past 48 used slots. *)
-      Pool.write_u8 n.pool (n.off + n48_index + b) 0;
-      persist n (n.off + n48_index + b) 1;
+      Pobj.write_u8 n (n48_index + b) 0;
+      persist n (n48_index + b) 1;
       set_count n (c - 1);
-      persist n (n.off + off_count) 2
+      persist n off_count 2
   | _ ->
-      Pool.write_int n.pool (child_slot n ty b) Pptr.null;
-      persist n (child_slot n ty b) 8;
+      Pobj.write_int n (child_rel ty b) Pptr.null;
+      persist n (child_rel ty b) 8;
       set_count n (max 0 (c - 1));
-      persist n (n.off + off_count) 2
+      persist n off_count 2
 
 let shrink_threshold = [| 0; 3; 12; 40 |]
 
@@ -891,7 +924,7 @@ let delete t rkey =
       end;
       (* every structural case below retires [n] *)
       let release_node () = Vlock.release_obsolete (lockh n) ~gen ~version:(nv + 1) in
-      let old_ptr = Pool.read_int slot.s_pool slot.s_off in
+      let old_ptr = read_slot slot in
       let payload =
         match find_child n b with
         | Some (_, p) -> Pptr.untag p
@@ -1091,9 +1124,9 @@ let reachable t target =
 let recover t =
   Obs.Span.with_phase Obs.Span.Recovery @@ fun () ->
   (* Bump the generation: every pre-crash lock becomes void (§5.7). *)
-  let gen = Pool.read_int t.meta off_meta_gen + 1 in
-  Pool.write_int t.meta off_meta_gen gen;
-  Pool.persist t.meta off_meta_gen 8;
+  let gen = Pobj.get_int t.mo f_meta_gen + 1 in
+  Pobj.set_int t.mo f_meta_gen gen;
+  Pobj.persist_field t.mo f_meta_gen;
   t.gen <- gen;
   (* Scan the pending log: free whatever never got linked (allocation
      interrupted) or already got unlinked (retirement committed). *)
@@ -1101,35 +1134,35 @@ let recover t =
   for tid = 0 to pending_threads - 1 do
     for slot = 0 to pending_slots - 1 do
       let off = pending_off tid slot in
-      let ptr = Pool.read_int t.meta off in
+      let ptr = Pobj.read_int t.mo off in
       if ptr <> 0 then begin
         if not (reachable t (Pptr.untag ptr)) then begin
           Heap.free t.heap (Pptr.untag ptr);
           incr freed
         end;
-        Pool.write_int t.meta off 0;
-        Pool.clwb t.meta off
+        Pobj.write_int t.mo off 0;
+        Pobj.clwb t.mo off
       end
     done
   done;
-  Pool.fence t.meta;
+  Pobj.fence t.mo;
   !freed
 
 (* Drop the whole trie without freeing: used when the backing pool was
    volatile (DRAM search layer) and has been wiped by a crash. *)
 let reset t =
-  Pool.write_int t.meta off_meta_root Pptr.null;
-  Pool.persist t.meta off_meta_root 8;
+  Pobj.set_int t.mo f_meta_root Pptr.null;
+  Pobj.persist_field t.mo f_meta_root;
   for tid = 0 to pending_threads - 1 do
     for slot = 0 to pending_slots - 1 do
       let off = pending_off tid slot in
-      if Pool.read_int t.meta off <> 0 then begin
-        Pool.write_int t.meta off 0;
-        Pool.clwb t.meta off
+      if Pobj.read_int t.mo off <> 0 then begin
+        Pobj.write_int t.mo off 0;
+        Pobj.clwb t.mo off
       end
     done
   done;
-  Pool.fence t.meta
+  Pobj.fence t.mo
 
 (* ---------- introspection (tests) ---------- *)
 

@@ -1,37 +1,52 @@
 module Pool = Nvm.Pool
 module Pptr = Pmalloc.Pptr
-
-(* On-node layout (offsets in bytes):
-   0   version lock          8   valid bitmap (int64)
-   16  next pointer          24  prev pointer
-   32  deleted mark          40  permutation version
-   48  anchor length         64  fingerprints (64 B, line-aligned)
-   128 permutation (64 B, line-aligned, not persisted)
-   192 anchor bytes (<= 32)  256 key-value slots *)
+module Layout = Pobj.Layout
 
 let entries = 64
 
-let off_lock = 0
+(* Fixed node header (256 bytes); key-value slots follow at a stride
+   chosen per tree instance (see [layout] below).  The lock word and
+   the permutation cache are transient: the former is voided by the
+   generation bump after a crash, the latter is rebuilt from the
+   persistent slots (§5.2) — unless the persist_perm ablation flushes
+   it explicitly. *)
+let hdr = Layout.create "data_node.hdr"
 
-let off_bitmap = 8
+let f_lock = Layout.word ~transient:true hdr "lock"
 
-let off_next = 16
+let f_bitmap = Layout.i64 hdr "bitmap"
 
-let off_prev = 24
+let f_next = Layout.word hdr "next"
 
-let off_deleted = 32
+let f_prev = Layout.word hdr "prev"
 
-let off_perm_version = 40
+let f_deleted = Layout.word hdr "deleted"
 
-let off_anchor_len = 48
+let f_perm_version = Layout.word ~transient:true hdr "perm_version"
 
-let off_fingerprints = 64
+let f_anchor_len = Layout.word hdr "anchor_len"
 
-let off_permutation = 128
+let f_fingerprints = Layout.bytes ~at:64 hdr "fingerprints" 64
 
-let off_anchor = 192
+let f_permutation = Layout.bytes ~at:128 ~transient:true hdr "permutation" 64
 
-let off_kv = 256
+let f_anchor = Layout.bytes ~at:192 hdr "anchor" 64
+
+let off_kv = Layout.seal hdr
+
+let off_lock = Layout.off f_lock
+
+let off_next = Layout.off f_next
+
+let off_prev = Layout.off f_prev
+
+let off_deleted = Layout.off f_deleted
+
+let off_fingerprints = Layout.off f_fingerprints
+
+let off_permutation = Layout.off f_permutation
+
+let off_anchor = Layout.off f_anchor
 
 type layout = { inline : int; stride : int; node_size : int; persist_perm : bool }
 
@@ -46,7 +61,7 @@ let layout ?(persist_perm = false) ~key_inline () =
   in
   { inline = key_inline; stride; node_size = off_kv + (entries * stride); persist_perm }
 
-type t = { pool : Pool.t; off : int }
+type t = Pobj.obj = { pool : Pool.t; off : int }
 
 let of_ptr ptr = { pool = Pmalloc.Registry.resolve ptr; off = Pptr.off ptr }
 
@@ -56,74 +71,74 @@ let equal a b = Pool.id a.pool = Pool.id b.pool && a.off = b.off
 
 let lock_handle t = { Vlock.pool = t.pool; off = t.off + off_lock }
 
-let bitmap t = Pool.read_int64 t.pool (t.off + off_bitmap)
+let bitmap t = Pobj.get_i64 t f_bitmap
 
-let set_bitmap t bm = Pool.write_int64 t.pool (t.off + off_bitmap) bm
+let set_bitmap t bm = Pobj.set_i64 t f_bitmap bm
 
-let next t = Pool.read_int t.pool (t.off + off_next)
+let next t = Pobj.get_int t f_next
 
-let set_next t p = Pool.write_int t.pool (t.off + off_next) p
+let set_next t p = Pobj.set_int t f_next p
 
-let prev t = Pool.read_int t.pool (t.off + off_prev)
+let prev t = Pobj.get_int t f_prev
 
-let set_prev t p = Pool.write_int t.pool (t.off + off_prev) p
+let set_prev t p = Pobj.set_int t f_prev p
 
-let is_deleted t = Pool.read_int t.pool (t.off + off_deleted) <> 0
+let is_deleted t = Pobj.get_int t f_deleted <> 0
 
-let set_deleted t flag = Pool.write_int t.pool (t.off + off_deleted) (Bool.to_int flag)
+let set_deleted t flag = Pobj.set_int t f_deleted (Bool.to_int flag)
 
 let anchor lay t =
   ignore lay;
-  let len = Pool.read_int t.pool (t.off + off_anchor_len) in
-  Pool.read_string t.pool (t.off + off_anchor) len
+  let len = Pobj.get_int t f_anchor_len in
+  Pobj.read_string t off_anchor len
 
 (* Allocation-free [compare (anchor t) k]. *)
 let compare_anchor t k =
-  let len = Pool.read_int t.pool (t.off + off_anchor_len) in
-  Pool.compare_string t.pool (t.off + off_anchor) len k
+  let len = Pobj.get_int t f_anchor_len in
+  Pobj.compare_string t off_anchor len k
 
 let init lay t ~gen ~anchor ~next ~prev =
-  Pool.fill_zero t.pool t.off lay.node_size;
+  Pobj.fill_zero t 0 lay.node_size;
   Vlock.init (lock_handle t) ~gen;
-  Pool.write_int t.pool (t.off + off_next) next;
-  Pool.write_int t.pool (t.off + off_prev) prev;
-  Pool.write_int t.pool (t.off + off_anchor_len) (String.length anchor);
-  Pool.write_string t.pool (t.off + off_anchor) anchor
+  Pobj.set_int t f_next next;
+  Pobj.set_int t f_prev prev;
+  Pobj.set_int t f_anchor_len (String.length anchor);
+  Pobj.write_string t off_anchor anchor
 
 (* Key-value slots.  Integer layout: value, 8-byte key.  String
    layout: value, length byte, key bytes. *)
 let entry_off lay slot = off_kv + (slot * lay.stride)
 
-let value_at lay t slot = Pool.read_int t.pool (t.off + entry_off lay slot)
+let value_at lay t slot = Pobj.read_int t (entry_off lay slot)
 
-let set_value lay t slot v = Pool.write_int t.pool (t.off + entry_off lay slot) v
+let set_value lay t slot v = Pobj.write_int t (entry_off lay slot) v
 
 let key_at lay t slot =
-  let e = t.off + entry_off lay slot in
-  if lay.inline = 8 then Pool.read_string t.pool (e + 8) 8
+  let e = entry_off lay slot in
+  if lay.inline = 8 then Pobj.read_string t (e + 8) 8
   else
-    let len = Pool.read_u8 t.pool (e + 8) in
-    Pool.read_string t.pool (e + 9) len
+    let len = Pobj.read_u8 t (e + 8) in
+    Pobj.read_string t (e + 9) len
 
 (* Allocation-free comparison of the slot key with [k]. *)
 let compare_key_at lay t slot k =
-  let e = t.off + entry_off lay slot in
-  if lay.inline = 8 then Pool.compare_string t.pool (e + 8) 8 k
+  let e = entry_off lay slot in
+  if lay.inline = 8 then Pobj.compare_string t (e + 8) 8 k
   else
-    let len = Pool.read_u8 t.pool (e + 8) in
-    Pool.compare_string t.pool (e + 9) len k
+    let len = Pobj.read_u8 t (e + 8) in
+    Pobj.compare_string t (e + 9) len k
 
 let set_entry lay t slot key v =
-  let e = t.off + entry_off lay slot in
-  Pool.write_int t.pool e v;
-  if lay.inline = 8 then Pool.write_string t.pool (e + 8) key
+  let e = entry_off lay slot in
+  Pobj.write_int t e v;
+  if lay.inline = 8 then Pobj.write_string t (e + 8) key
   else begin
-    Pool.write_u8 t.pool (e + 8) (String.length key);
-    Pool.write_string t.pool (e + 9) key
+    Pobj.write_u8 t (e + 8) (String.length key);
+    Pobj.write_string t (e + 9) key
   end;
-  Pool.write_u8 t.pool (t.off + off_fingerprints + slot) (Fingerprint.of_key key)
+  Pobj.write_u8 t (off_fingerprints + slot) (Fingerprint.of_key key)
 
-let _fingerprint_at t slot = Pool.read_u8 t.pool (t.off + off_fingerprints + slot)
+let _fingerprint_at t slot = Pobj.read_u8 t (off_fingerprints + slot)
 
 let bit slot = Int64.shift_left 1L slot
 
@@ -148,7 +163,7 @@ let find lay t k =
   let fp = Fingerprint.of_key k in
   (* one cache access covers the whole fingerprint line (the AVX512
      match of the paper, §5.2) *)
-  let fps = Pool.read_string t.pool (t.off + off_fingerprints) entries in
+  let fps = Pobj.read_string t off_fingerprints entries in
   let rec go slot =
     if slot >= entries then None
     else if
@@ -184,42 +199,40 @@ type write_result = Ok | Full | Absent
 
 (* Rebuild and (ablation only) persist the permutation array; caller
    decides when.  The stamp ties the array to the lock version so
-   readers can detect staleness (§5.2). *)
+   readers can detect staleness (§5.2).  Both writes are transient
+   unless persist_perm flushes them below. *)
 let write_permutation t sorted =
-  List.iteri
-    (fun i (_, slot) -> Pool.write_u8 t.pool (t.off + off_permutation + i) slot)
-    sorted
+  Pobj.Sanitizer.with_suppressed @@ fun () ->
+  List.iteri (fun i (_, slot) -> Pobj.write_u8 t (off_permutation + i) slot) sorted
 
 let stamp_permutation t =
   (* Record the raw lock word so any later writer invalidates it. *)
-  let word = Pool.read_int t.pool (t.off + off_lock) in
-  Pool.write_int t.pool (t.off + off_perm_version) word
+  let word = Pobj.get_int t f_lock in
+  Pobj.set_int t f_perm_version word
 
 let rebuild_permutation lay t =
   let sorted = sorted_live lay t in
   write_permutation t sorted;
   stamp_permutation t;
   if lay.persist_perm then begin
-    Pool.flush_range t.pool (t.off + off_permutation) entries;
-    Pool.persist t.pool (t.off + off_perm_version) 8
+    Pobj.flush t off_permutation entries;
+    Pobj.persist_field t f_perm_version
   end;
   List.length sorted
 
-let permutation_fresh t =
-  Pool.read_int t.pool (t.off + off_perm_version) = Pool.read_int t.pool (t.off + off_lock)
+let permutation_fresh t = Pobj.get_int t f_perm_version = Pobj.get_int t f_lock
 
 let refresh_permutation lay t =
   if permutation_fresh t then live_count t else rebuild_permutation lay t
 
 let persist_slot lay t slot =
-  let e = t.off + entry_off lay slot in
-  Pool.flush_range t.pool e lay.stride;
-  Pool.clwb t.pool (t.off + off_fingerprints + slot);
-  Pool.fence t.pool
+  Pobj.flush t (entry_off lay slot) lay.stride;
+  Pobj.clwb t (off_fingerprints + slot);
+  Pobj.fence t
 
 let persist_bitmap t =
-  Pool.clwb t.pool (t.off + off_bitmap);
-  Pool.fence t.pool
+  Pobj.flush_field t f_bitmap;
+  Pobj.fence t
 
 let maybe_persist_perm lay t =
   if lay.persist_perm then ignore (rebuild_permutation lay t)
@@ -267,7 +280,7 @@ let update lay t k v =
       | None ->
           (* Node full: an 8-byte value store is itself atomic. *)
           set_value lay t old_slot v;
-          Pool.persist t.pool (t.off + entry_off lay old_slot) 8;
+          Pobj.persist t (entry_off lay old_slot) 8;
           Ok)
 
 let scan_from lay t k ~f =
@@ -276,7 +289,7 @@ let scan_from lay t k ~f =
   let rec go i =
     if i >= n then true
     else
-      let slot = Pool.read_u8 t.pool (t.off + off_permutation + i) in
+      let slot = Pobj.read_u8 t (off_permutation + i) in
       if compare_key_at lay t slot k < 0 then go (i + 1)
       else if f (key_at lay t slot) (value_at lay t slot) then go (i + 1)
       else false

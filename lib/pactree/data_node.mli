@@ -32,7 +32,7 @@ val layout : ?persist_perm:bool -> key_inline:int -> unit -> layout
 (** Number of key-value slots per node. *)
 val entries : int
 
-type t = { pool : Nvm.Pool.t; off : int }
+type t = Pobj.obj = { pool : Nvm.Pool.t; off : int }
 
 val of_ptr : Pmalloc.Pptr.t -> t
 

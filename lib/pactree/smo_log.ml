@@ -1,12 +1,24 @@
 module Pool = Nvm.Pool
 module Pptr = Pmalloc.Pptr
+module Layout = Pobj.Layout
 
-(* Entry layout (128 bytes, two cache lines):
-   0 state (0 free / 1 split / 2 merge)   8 timestamp
-   16 left node ptr                       24 aux (new node / right node)
-   32 anchor length                       40..71 anchor bytes *)
+(* Entry layout (128 bytes, two cache lines).  A persisted nonzero
+   state implies a complete entry (fields persist first). *)
+let lay = Layout.create "smo_log.entry"
 
-let entry_size = 128
+let f_state = Layout.word lay "state" (* 0 free / 1 split / 2 merge *)
+
+let f_ts = Layout.word lay "ts"
+
+let f_left = Layout.word lay "left"
+
+let f_aux = Layout.word lay "aux" (* new node (split) / right node (merge) *)
+
+let f_anchor_len = Layout.word lay "anchor_len"
+
+let f_anchor = Layout.bytes lay "anchor" 32
+
+let entry_size = Layout.seal ~size:128 lay
 
 let rings = 256
 
@@ -20,7 +32,7 @@ type t = {
   cursors : (int, int) Hashtbl.t; (* thread id -> next slot hint *)
 }
 
-type entry_ref = { pool : Pool.t; off : int }
+type entry_ref = Pobj.obj = { pool : Pool.t; off : int }
 
 type payload =
   | Split of { left : Pptr.t; anchor : Key.t }
@@ -41,24 +53,24 @@ let thread_ring t =
   let numa = Des.Sched.current_numa () in
   (t.pools.(numa mod Array.length t.pools), ring_base t tid, tid)
 
-let state e = Pool.read_int e.pool e.off
+let state e = Pobj.get_int e f_state
 
 let write_entry e ~ts payload =
-  Pool.write_int e.pool (e.off + 8) ts;
+  Pobj.set_int e f_ts ts;
   let left, aux0, anchor, kind =
     match payload with
     | Split { left; anchor } -> (left, Pptr.null, anchor, 1)
     | Merge { left; right; anchor } -> (left, right, anchor, 2)
   in
-  Pool.write_int e.pool (e.off + 16) left;
-  Pool.write_int e.pool (e.off + 24) aux0;
-  Pool.write_int e.pool (e.off + 32) (String.length anchor);
-  Pool.write_string e.pool (e.off + 40) anchor;
+  Pobj.set_int e f_left left;
+  Pobj.set_int e f_aux aux0;
+  Pobj.set_int e f_anchor_len (String.length anchor);
+  Pobj.write_string e (Layout.off f_anchor) anchor;
   (* Fields first, then the state flag: a persisted nonzero state
      implies a complete entry. *)
-  Pool.persist e.pool e.off entry_size;
-  Pool.write_int e.pool e.off kind;
-  Pool.persist e.pool e.off 8
+  Pobj.persist_obj e lay;
+  Pobj.set_int e f_state kind;
+  Pobj.persist_field e f_state
 
 let append t ~ts payload =
   Obs.Span.with_phase Obs.Span.Smo @@ fun () ->
@@ -84,19 +96,19 @@ let append t ~ts payload =
   write_entry e ~ts payload;
   e
 
-let aux_field e = (e.pool, e.off + 24)
+let aux_field e = (e.pool, e.off + Layout.off f_aux)
 
-let aux e = Pool.read_int e.pool (e.off + 24)
+let aux e = Pobj.get_int e f_aux
 
 let read e =
   match state e with
   | 0 -> None
   | kind ->
-      let ts = Pool.read_int e.pool (e.off + 8) in
-      let left = Pool.read_int e.pool (e.off + 16) in
-      let aux0 = Pool.read_int e.pool (e.off + 24) in
-      let alen = Pool.read_int e.pool (e.off + 32) in
-      let anchor = Pool.read_string e.pool (e.off + 40) alen in
+      let ts = Pobj.get_int e f_ts in
+      let left = Pobj.get_int e f_left in
+      let aux0 = Pobj.get_int e f_aux in
+      let alen = Pobj.get_int e f_anchor_len in
+      let anchor = Pobj.read_string e (Layout.off f_anchor) alen in
       let payload =
         if kind = 1 then Split { left; anchor }
         else Merge { left; right = aux0; anchor }
@@ -104,8 +116,8 @@ let read e =
       Some (ts, payload)
 
 let clear e =
-  Pool.write_int e.pool e.off 0;
-  Pool.persist e.pool e.off 8
+  Pobj.set_int e f_state 0;
+  Pobj.persist_field e f_state
 
 let iter_active t ~f =
   Array.iter

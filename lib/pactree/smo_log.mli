@@ -13,7 +13,7 @@
 
 type t
 
-type entry_ref = { pool : Nvm.Pool.t; off : int }
+type entry_ref = Pobj.obj = { pool : Nvm.Pool.t; off : int }
 
 type payload =
   | Split of { left : Pmalloc.Pptr.t; anchor : Key.t }

@@ -152,27 +152,28 @@ let create machine ?(cfg = default_config) () =
   (* Bootstrap: one head data node with the minimum anchor "".  The
      head pointer doubles as the malloc-to destination, so creation
      itself cannot leak. *)
-  if Pool.read_int meta off_head = 0 then begin
+  if Pobj.read_int (Pobj.make meta 0) off_head = 0 then begin
     let ptr =
       Heap.alloc_to data_heap ~numa:0 ~size:lay.Node.node_size ~dest_pool:meta
         ~dest_off:off_head ()
     in
     let head = Node.of_ptr ptr in
     Node.init lay head ~gen:t.gen ~anchor:"" ~next:Pptr.null ~prev:Pptr.null;
-    Pool.persist head.Node.pool head.Node.off lay.Node.node_size;
+    Pobj.persist head 0 lay.Node.node_size;
     ignore (Art.insert art (Key.to_radix "") ptr)
   end;
   t
 
-let head_node t = Node.of_ptr (Pool.read_int t.meta off_head)
+let head_node t = Node.of_ptr (Pobj.read_int (Pobj.make t.meta 0) off_head)
 
 (* Monotonic SMO timestamps (persisted lazily; replay order only
    matters among entries that coexist). *)
 let next_ts t =
   let rec go () =
-    let v = Pool.read_int t.meta off_ts in
-    if Pool.cas_int t.meta off_ts ~expected:v (v + 1) then begin
-      Pool.clwb t.meta off_ts;
+    let mo = Pobj.make t.meta 0 in
+    let v = Pobj.read_int mo off_ts in
+    if Pobj.cas mo off_ts ~expected:v (v + 1) then begin
+      Pobj.clwb mo off_ts;
       v + 1
     end
     else go ()
@@ -321,7 +322,7 @@ let enqueue_smo t e =
 
 (* ---------- split (§5.6) ---------- *)
 
-let persist_field pool off = Pool.persist pool off 8
+let persist_field node rel = Pobj.persist node rel 8
 
 let split_and_insert t node wv key value =
   Obs.Span.with_phase Obs.Span.Smo @@ fun () ->
@@ -341,17 +342,17 @@ let split_and_insert t node wv key value =
   let old_next = Node.next node in
   Node.init t.lay nnode ~gen:t.gen ~anchor ~next:old_next ~prev:(Node.to_ptr node);
   Node.copy_into t.lay ~src:node ~dst:nnode move;
-  Pool.persist nnode.Node.pool nnode.Node.off t.lay.Node.node_size;
+  Pobj.persist nnode 0 t.lay.Node.node_size;
   (* 4. Publish: link right of the splitting node (atomic). *)
   Node.set_next node new_ptr;
-  persist_field node.Node.pool (node.Node.off + Node.off_next);
+  persist_field node Node.off_next;
   (* 5. Retire the moved slots (atomic bitmap update). *)
   Node.clear_slots node (List.map snd move);
   (* 6. Fix the right neighbour's prev pointer. *)
   if not (Pptr.is_null old_next) then begin
     let rn = Node.of_ptr old_next in
     Node.set_prev rn new_ptr;
-    persist_field rn.Node.pool (rn.Node.off + Node.off_prev)
+    persist_field rn Node.off_prev
   end;
   (* 7. Search layer: async (off the critical path) or inline. *)
   enqueue_smo t e;
@@ -397,14 +398,14 @@ let try_merge t node =
       Node.absorb t.lay ~src:rn ~dst:node;
       (* Logical deletion, then unlink. *)
       Node.set_deleted rn true;
-      persist_field rn.Node.pool (rn.Node.off + Node.off_deleted);
+      persist_field rn Node.off_deleted;
       let rnn = Node.next rn in
       Node.set_next node rnn;
-      persist_field node.Node.pool (node.Node.off + Node.off_next);
+      persist_field node Node.off_next;
       if not (Pptr.is_null rnn) then begin
         let rnn_node = Node.of_ptr rnn in
         Node.set_prev rnn_node (Node.to_ptr node);
-        persist_field rnn_node.Node.pool (rnn_node.Node.off + Node.off_prev)
+        persist_field rnn_node Node.off_prev
       end;
       enqueue_smo t e;
       Vlock.release (Node.lock_handle rn) ~gen:t.gen ~version:rwv;
@@ -639,9 +640,9 @@ let recover_split t e left anchor =
       let old_next = Node.next node in
       Node.init t.lay nnode ~gen:t.gen ~anchor ~next:old_next ~prev:left;
       Node.copy_into t.lay ~src:node ~dst:nnode move;
-      Pool.persist nnode.Node.pool nnode.Node.off t.lay.Node.node_size;
+      Pobj.persist nnode 0 t.lay.Node.node_size;
       Node.set_next node new_ptr;
-      persist_field node.Node.pool (node.Node.off + Node.off_next)
+      persist_field node Node.off_next
     end;
     (* Drop any moved keys still present in the left node. *)
     let stale =
@@ -656,7 +657,7 @@ let recover_split t e left anchor =
       let rn_node = Node.of_ptr rn in
       if not (Pptr.equal (Node.prev rn_node) new_ptr) then begin
         Node.set_prev rn_node new_ptr;
-        persist_field rn_node.Node.pool (rn_node.Node.off + Node.off_prev)
+        persist_field rn_node Node.off_prev
       end
     end;
     (* Search layer. *)
@@ -680,18 +681,18 @@ let recover_merge t e left right anchor =
     (Node.live_entries t.lay rn);
   if not (Node.is_deleted rn) then begin
     Node.set_deleted rn true;
-    persist_field rn.Node.pool (rn.Node.off + Node.off_deleted)
+    persist_field rn Node.off_deleted
   end;
   if Pptr.equal (Node.next node) right then begin
     Node.set_next node (Node.next rn);
-    persist_field node.Node.pool (node.Node.off + Node.off_next)
+    persist_field node Node.off_next
   end;
   let rnn = Node.next rn in
   if not (Pptr.is_null rnn) then begin
     let rnn_node = Node.of_ptr rnn in
     if Pptr.equal (Node.prev rnn_node) right then begin
       Node.set_prev rnn_node left;
-      persist_field rnn_node.Node.pool (rnn_node.Node.off + Node.off_prev)
+      persist_field rnn_node Node.off_prev
     end
   end;
   (match Art.lookup t.art (Key.to_radix anchor) with
@@ -711,7 +712,7 @@ let rebuild_search_layer t =
       go (Node.next node)
     end
   in
-  go (Pool.read_int t.meta off_head)
+  go (Pobj.read_int (Pobj.make t.meta 0) off_head)
 
 let recover t =
   Obs.Span.with_phase Obs.Span.Recovery @@ fun () ->
@@ -779,7 +780,7 @@ let check_invariants t =
       walk nxt ptr (Some anchor) ((anchor, ptr) :: nodes)
     end
   in
-  let head_ptr = Pool.read_int t.meta off_head in
+  let head_ptr = Pobj.read_int (Pobj.make t.meta 0) off_head in
   let nodes = List.rev (walk head_ptr Pptr.null None []) in
   (* search layer: every mapping must point to a live data node whose
      anchor is the mapped key (after drain, it must be complete). *)
@@ -803,6 +804,6 @@ let to_list t =
       go (Node.next node) (List.rev_append entries acc)
     end
   in
-  go (Pool.read_int t.meta off_head) []
+  go (Pobj.read_int (Pobj.make t.meta 0) off_head) []
 
 let cardinal t = List.length (to_list t)

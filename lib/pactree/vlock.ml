@@ -1,6 +1,6 @@
 module Pool = Nvm.Pool
 
-type handle = { pool : Pool.t; off : int }
+type handle = Pobj.obj = { pool : Pool.t; off : int }
 
 let word ~gen ~version = (gen lsl 32) lor (version land 0xFFFFFFFF)
 
@@ -15,10 +15,14 @@ let version_of w = w land 0xFFFFFFFF
    when a writer acquires it.  Stale->stale transitions are
    impossible (only writers store words, always with the current
    generation), so "effective version 0" is stable and optimistic
-   validation stays sound. *)
+   validation stays sound.
+
+   Lock words are transient by the same argument: they are never
+   flushed, because the generation bump voids them after any crash —
+   all stores below go through [Pobj.transient_*]. *)
 let effective w ~gen = if gen_of w = gen then version_of w else 0
 
-let init h ~gen = Pool.write_int h.pool h.off (word ~gen ~version:0)
+let init h ~gen = Pobj.transient_store h 0 (word ~gen ~version:0)
 
 let is_locked version = version land 1 = 1
 
@@ -30,7 +34,7 @@ let obsolete_bit = 2
 
 let is_obsolete version = version land obsolete_bit <> 0
 
-let read_version h ~gen = effective (Pool.read_int h.pool h.off) ~gen
+let read_version h ~gen = effective (Pobj.read_int h 0) ~gen
 
 (* instrumentation: total spin iterations across all locks *)
 let spins = ref 0
@@ -49,7 +53,7 @@ let stuck h ~gen attempt who =
   if debug && attempt > 0 && attempt mod 500 = 0 then
     Printf.eprintf "[vlock] thread %d stuck in %s on %s+%d word=%#x gen=%d (%d spins)\n%!"
       (Des.Sched.current_id ()) who (Pool.name h.pool) h.off
-      (Pool.read_int h.pool h.off) gen attempt
+      (Pobj.read_int h 0) gen attempt
 
 let begin_read h ~gen =
   let rec go attempt =
@@ -69,11 +73,11 @@ let try_upgrade h ~gen ~version =
   (not (is_locked version))
   && (not (is_obsolete version))
   &&
-  let raw = Pool.read_int h.pool h.off in
+  let raw = Pobj.read_int h 0 in
   effective raw ~gen = version
   &&
   (if debug then Pmalloc.Heap.check_not_freed ~who:"try_upgrade" (Pool.id h.pool) h.off;
-   Pool.cas_int h.pool h.off ~expected:raw (word ~gen ~version:(version + 1)))
+   Pobj.transient_cas h 0 ~expected:raw (word ~gen ~version:(version + 1)))
 
 let acquire h ~gen =
   let rec go attempt =
@@ -91,10 +95,10 @@ let acquire h ~gen =
    steps of 4: bit 0 = locked, bit 1 = obsolete, counter above). *)
 let release h ~gen ~version =
   assert (is_locked version);
-  Pool.write_int h.pool h.off (word ~gen ~version:(version + 3))
+  Pobj.transient_store h 0 (word ~gen ~version:(version + 3))
 
 (* Unlock and permanently retire the word: no later reader validates
    against it and no writer can ever lock it again. *)
 let release_obsolete h ~gen ~version =
   assert (is_locked version);
-  Pool.write_int h.pool h.off (word ~gen ~version:((version + 3) lor obsolete_bit))
+  Pobj.transient_store h 0 (word ~gen ~version:((version + 3) lor obsolete_bit))

@@ -10,7 +10,7 @@
     before the crash carries a stale generation and is treated as free
     (and lazily re-initialised) without visiting any node (§5.1). *)
 
-type handle = { pool : Nvm.Pool.t; off : int }
+type handle = Pobj.obj = { pool : Nvm.Pool.t; off : int }
 
 (** Initialise an unlocked word for generation [gen]. *)
 val init : handle -> gen:int -> unit

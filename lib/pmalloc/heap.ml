@@ -1,4 +1,5 @@
 module Pool = Nvm.Pool
+module Layout = Pobj.Layout
 
 type kind = Pmdk | Volatile_meta
 
@@ -8,40 +9,42 @@ type alloc_stats = {
   mutable alloc_bytes : int;
 }
 
-(* On-pool metadata layout (Pmdk kind).  The whole undo/redo log fits
-   in one 64-byte cache line so it persists atomically in the
-   line-granularity crash model. *)
-let off_magic = 0
-
-let off_bump = 8
-
-let off_log = 64 (* state, class, block, old, dest_pool+1, dest_off *)
-
-let off_lstate = off_log
-
-let off_lclass = off_log + 8
-
-let off_lblock = off_log + 16
-
-let off_lold = off_log + 24
-
-let off_ldest_pool = off_log + 32
-
-let off_ldest_off = off_log + 40
-
-let off_heads = 128
-
 let class_sizes =
   [|
     16; 24; 32; 48; 64; 96; 128; 192; 256; 384; 512; 768; 1024; 1536; 2048; 3072;
     4096; 6144; 8192;
   |]
 
-let data_start = 384 (* past heads (128 + 19*8 = 280), 64-aligned *)
+(* On-pool metadata layout (Pmdk kind).  The whole undo/redo log fits
+   in one 64-byte cache line so it persists atomically in the
+   line-granularity crash model. *)
+let hdr = Layout.create "pmalloc.hdr"
+
+let f_magic = Layout.word hdr "magic"
+
+let f_bump = Layout.word hdr "bump"
+
+let f_lstate = Layout.word ~at:64 hdr "lstate"
+
+let f_lclass = Layout.word hdr "lclass"
+
+let f_lblock = Layout.word hdr "lblock"
+
+let f_lold = Layout.word hdr "lold"
+
+let f_ldest_pool = Layout.word hdr "ldest_pool"
+
+let f_ldest_off = Layout.word hdr "ldest_off"
+
+let f_heads =
+  Layout.slots ~at:128 hdr "heads" ~stride:8 ~count:(Array.length class_sizes)
+
+(* Data region starts past the heads (128 + 19*8 = 280), 64-aligned. *)
+let data_start = Layout.seal ~size:384 hdr
+
+let head_off cls = Layout.slot f_heads cls
 
 let magic_value = 0x9AC7_0001
-
-let off_head cls = off_heads + (8 * cls)
 
 (* Log-state tags. *)
 let l_none = 0
@@ -67,6 +70,7 @@ let round_up x align = (x + align - 1) / align * align
 
 type pool_state = {
   pool : Pool.t;
+  hd : Pobj.obj; (* header object at offset 0, fields per [hdr] *)
   mutex : Des.Sync.Mutex.t;
   (* Volatile_meta bookkeeping (not crash consistent, by design). *)
   mutable vbump : int;
@@ -81,10 +85,10 @@ type t = {
   stats : alloc_stats;
 }
 
-let init_pmdk_pool pool =
-  Pool.write_int pool off_magic magic_value;
-  Pool.write_int pool off_bump data_start;
-  Pool.persist pool 0 16
+let init_pmdk_pool hd =
+  Pobj.set_int hd f_magic magic_value;
+  Pobj.set_int hd f_bump data_start;
+  Pobj.persist hd 0 16
 
 let create machine ?(volatile_pool = false) ~kind ~name ~numa_pools ~capacity () =
   assert (numa_pools >= 1);
@@ -96,9 +100,11 @@ let create machine ?(volatile_pool = false) ~kind ~name ~numa_pools ~capacity ()
         ~numa ~capacity ()
     in
     Registry.register pool;
-    if kind = Pmdk then init_pmdk_pool pool;
+    let hd = Pobj.make pool 0 in
+    if kind = Pmdk then init_pmdk_pool hd;
     {
       pool;
+      hd;
       mutex = Des.Sync.Mutex.create ();
       vbump = data_start;
       vfree = Array.make (Array.length class_sizes) [];
@@ -155,106 +161,107 @@ let publish_dest dest block_ptr =
   match dest with
   | None -> ()
   | Some (dest_pool, dest_off) ->
-      Pool.write_int dest_pool dest_off block_ptr;
-      Pool.persist dest_pool dest_off 8
+      let d = Pobj.make dest_pool dest_off in
+      Pobj.write_int d 0 block_ptr;
+      Pobj.persist d 0 8
 
 let pmdk_alloc ps ~dest size =
-  let p = ps.pool in
+  let hd = ps.hd in
   Des.Sync.Mutex.with_lock ps.mutex @@ fun () ->
   let cls = class_of size in
   let csize = class_sizes.(cls) in
-  let head = Pool.read_int p (off_head cls) in
+  let head = Pobj.read_int hd (head_off cls) in
   (if debug_heap && head <> Pptr.null then
-     let next = Pool.read_int p (Pptr.off head) in
+     let next = Pobj.read_int hd (Pptr.off head) in
      if next <> Pptr.null
-        && (Pptr.off next + 8 > Pool.capacity p || Pptr.off next land 7 <> 0
-           || Pptr.pool next <> Pool.id p)
+        && (Pptr.off next + 8 > Pool.capacity ps.pool || Pptr.off next land 7 <> 0
+           || Pptr.pool next <> Pool.id ps.pool)
      then
        failwith
-         (Printf.sprintf "Heap: freelist of %s corrupt at %d: next=%#x" (Pool.name p)
-            (Pptr.off head) next));
+         (Printf.sprintf "Heap: freelist of %s corrupt at %d: next=%#x"
+            (Pool.name ps.pool) (Pptr.off head) next));
   let block_off, lkind, lold =
     if head <> Pptr.null then (Pptr.off head, l_freelist, head)
     else begin
-      let bump = Pool.read_int p off_bump in
+      let bump = Pobj.get_int hd f_bump in
       let block = round_up (bump + 8) (align_of csize) in
-      if block + csize > Pool.capacity p then out_of_memory p;
+      if block + csize > Pool.capacity ps.pool then out_of_memory ps.pool;
       (block, l_bump, bump)
     end
   in
-  let block_ptr = Pptr.make ~pool:(Pool.id p) ~off:block_off in
-  if debug_heap then note_allocated (Pool.id p) block_off;
+  let block_ptr = Pptr.make ~pool:(Pool.id ps.pool) ~off:block_off in
+  if debug_heap then note_allocated (Pool.id ps.pool) block_off;
   (* 1. Undo/redo log entry (one line), persisted first. *)
-  Pool.write_int p off_lclass cls;
-  Pool.write_int p off_lblock block_ptr;
-  Pool.write_int p off_lold lold;
+  Pobj.set_int hd f_lclass cls;
+  Pobj.set_int hd f_lblock block_ptr;
+  Pobj.set_int hd f_lold lold;
   (match dest with
   | Some (dest_pool, dest_off) ->
-      Pool.write_int p off_ldest_pool (Pool.id dest_pool + 1);
-      Pool.write_int p off_ldest_off dest_off
+      Pobj.set_int hd f_ldest_pool (Pool.id dest_pool + 1);
+      Pobj.set_int hd f_ldest_off dest_off
   | None ->
-      Pool.write_int p off_ldest_pool 0;
-      Pool.write_int p off_ldest_off 0);
-  Pool.write_int p off_lstate lkind;
-  Pool.persist p off_log 64;
+      Pobj.set_int hd f_ldest_pool 0;
+      Pobj.set_int hd f_ldest_off 0);
+  Pobj.set_int hd f_lstate lkind;
+  Pobj.persist hd (Layout.off f_lstate) 64;
   (* 2. Metadata update + object header, persisted second. *)
   if lkind = l_freelist then begin
-    let next = Pool.read_int p block_off in
-    Pool.write_int p (off_head cls) next;
-    Pool.clwb p (off_head cls)
+    let next = Pobj.read_int hd block_off in
+    Pobj.write_int hd (head_off cls) next;
+    Pobj.clwb hd (head_off cls)
   end
   else begin
-    Pool.write_int p off_bump (block_off + csize);
-    Pool.clwb p off_bump
+    Pobj.set_int hd f_bump (block_off + csize);
+    Pobj.flush_field hd f_bump
   end;
-  Pool.write_int p (block_off - 8) cls;
-  Pool.clwb p (block_off - 8);
-  Pool.fence p;
+  Pobj.write_int hd (block_off - 8) cls;
+  Pobj.clwb hd (block_off - 8);
+  Pobj.fence hd;
   (* 3. malloc-to: publish the pointer (persist) before committing. *)
   publish_dest dest block_ptr;
   (* 4. Commit: clear the log. *)
-  Pool.write_int p off_lstate l_none;
-  Pool.persist p off_lstate 8;
+  Pobj.set_int hd f_lstate l_none;
+  Pobj.persist_field hd f_lstate;
   block_ptr
 
 let pmdk_free ps ptr =
-  let p = ps.pool in
+  let hd = ps.hd in
   Des.Sync.Mutex.with_lock ps.mutex @@ fun () ->
   let block_off = Pptr.off ptr in
   if debug_heap then begin
     (* double-free detection: walk the class freelist *)
-    let cls = Pool.read_int p (block_off - 8) in
+    let cls = Pobj.read_int hd (block_off - 8) in
     if cls >= 0 && cls < Array.length class_sizes then begin
       let rec walk node n =
         if node <> Pptr.null && n < 1_000_000 then begin
           if Pptr.off node = block_off then
             failwith
-              (Printf.sprintf "Heap: DOUBLE FREE of %s+%d by thread %d" (Pool.name p)
-                 block_off (Des.Sched.current_id ()));
-          walk (Pool.read_int p (Pptr.off node)) (n + 1)
+              (Printf.sprintf "Heap: DOUBLE FREE of %s+%d by thread %d"
+                 (Pool.name ps.pool) block_off (Des.Sched.current_id ()));
+          walk (Pobj.read_int hd (Pptr.off node)) (n + 1)
         end
       in
-      walk (Pool.read_int p (off_head cls)) 0
+      walk (Pobj.read_int hd (head_off cls)) 0
     end
   end;
-  let cls = Pool.read_int p (block_off - 8) in
+  let cls = Pobj.read_int hd (block_off - 8) in
   assert (cls >= 0 && cls < Array.length class_sizes);
-  let head = Pool.read_int p (off_head cls) in
-  Pool.write_int p off_lclass cls;
-  Pool.write_int p off_lblock ptr;
-  Pool.write_int p off_lold head;
-  Pool.write_int p off_ldest_pool 0;
-  Pool.write_int p off_lstate l_free;
-  Pool.persist p off_log 64;
+  let head = Pobj.read_int hd (head_off cls) in
+  Pobj.set_int hd f_lclass cls;
+  Pobj.set_int hd f_lblock ptr;
+  Pobj.set_int hd f_lold head;
+  Pobj.set_int hd f_ldest_pool 0;
+  Pobj.set_int hd f_lstate l_free;
+  Pobj.persist hd (Layout.off f_lstate) 64;
   (* Persist the block's next link before publishing it as head, so a
      crash can never expose a head with a garbage next pointer. *)
-  Pool.write_int p block_off head;
-  Pool.persist p block_off 8;
-  Pool.write_int p (off_head cls) ptr;
-  Pool.persist p (off_head cls) 8;
-  Pool.write_int p off_lstate l_none;
-  Pool.persist p off_lstate 8;
-  if debug_heap then note_freed (Pool.id p) block_off cls
+  Pobj.write_int hd block_off head;
+  Pobj.persist hd block_off 8;
+  Pobj.write_int hd (head_off cls) ptr;
+  Pobj.persist hd (head_off cls) 8;
+  Pobj.set_int hd f_lstate l_none;
+  Pobj.persist_field hd f_lstate;
+  if debug_heap then note_freed (Pool.id ps.pool) block_off cls
 
 let volatile_alloc ps ~dest size =
   let p = ps.pool in
@@ -326,33 +333,32 @@ let free t ptr =
    order put the metadata fence before the dest fence), so the
    operation is complete; otherwise we roll the metadata back. *)
 let recover_pmdk_pool ps =
-  let p = ps.pool in
-  let state = Pool.read_int p off_lstate in
+  let hd = ps.hd in
+  let state = Pobj.get_int hd f_lstate in
   if state <> l_none then begin
-    let cls = Pool.read_int p off_lclass in
-    let block = Pool.read_int p off_lblock in
-    let old = Pool.read_int p off_lold in
-    let dest_pool = Pool.read_int p off_ldest_pool in
+    let cls = Pobj.get_int hd f_lclass in
+    let block = Pobj.get_int hd f_lblock in
+    let old = Pobj.get_int hd f_lold in
+    let dest_pool = Pobj.get_int hd f_ldest_pool in
     let completed =
       dest_pool > 0
       &&
-      let dp = Registry.find (dest_pool - 1) in
-      let doff = Pool.read_int p off_ldest_off in
-      Pool.read_int dp doff = block
+      let dest = Pobj.make (Registry.find (dest_pool - 1)) (Pobj.get_int hd f_ldest_off) in
+      Pobj.read_int dest 0 = block
     in
     if not completed then begin
-      if state = l_bump then Pool.write_int p off_bump old
-      else if state = l_freelist then Pool.write_int p (off_head cls) old
+      if state = l_bump then Pobj.set_int hd f_bump old
+      else if state = l_freelist then Pobj.write_int hd (head_off cls) old
       else if state = l_free then begin
         (* Free is complete once the head points at the block. *)
-        if Pool.read_int p (off_head cls) <> block then
-          Pool.write_int p (off_head cls) old
+        if Pobj.read_int hd (head_off cls) <> block then
+          Pobj.write_int hd (head_off cls) old
       end;
-      Pool.flush_range p off_bump 8;
-      Pool.flush_range p (off_head cls) 8
+      Pobj.flush_field hd f_bump;
+      Pobj.flush hd (head_off cls) 8
     end;
-    Pool.write_int p off_lstate l_none;
-    Pool.persist p off_lstate 8
+    Pobj.set_int hd f_lstate l_none;
+    Pobj.persist_field hd f_lstate
   end
 
 let recover t =
@@ -371,5 +377,5 @@ let recover t =
 let remaining t ~numa =
   let ps = t.pools.(numa mod Array.length t.pools) in
   match t.kind with
-  | Pmdk -> Pool.capacity ps.pool - Pool.read_int ps.pool off_bump
+  | Pmdk -> Pool.capacity ps.pool - Pobj.get_int ps.hd f_bump
   | Volatile_meta -> Pool.capacity ps.pool - ps.vbump

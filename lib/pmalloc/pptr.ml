@@ -5,8 +5,10 @@ let null = 0
 let is_null p = p land lnot 1 = 0
 
 let make ~pool ~off =
-  assert (pool >= 0 && pool < 1 lsl 22);
-  assert (off >= 0 && off < 1 lsl 40);
+  if pool < 0 || pool >= 1 lsl 22 then
+    invalid_arg (Printf.sprintf "Pptr.make: pool id %d outside [0, 2^22)" pool);
+  if off < 0 || off >= 1 lsl 40 then
+    invalid_arg (Printf.sprintf "Pptr.make: offset %d outside [0, 2^40)" off);
   (pool lsl 40) lor off
 
 let pool p = (p lsr 40) land 0x3FFFFF

@@ -1,0 +1,139 @@
+type kind =
+  | Word
+  | I64
+  | U8
+  | U16
+  | U32
+  | Bytes of int
+  | Slots of { stride : int; count : int }
+
+type field = {
+  owner : string;
+  name : string;
+  off : int;
+  size : int;
+  kind : kind;
+  transient : bool;
+}
+
+type t = {
+  tag : string;
+  mutable cursor : int;
+  mutable fields : field list; (* reversed *)
+  mutable sealed : int option;
+}
+
+let create tag = { tag; cursor = 0; fields = []; sealed = None }
+
+let tag t = t.tag
+
+let round_up x align = (x + align - 1) / align * align
+
+let natural_align = function
+  | Word | I64 -> 8
+  | U8 -> 1
+  | U16 -> 2
+  | U32 -> 4
+  | Bytes _ | Slots _ -> 8
+
+let kind_size = function
+  | Word | I64 -> 8
+  | U8 -> 1
+  | U16 -> 2
+  | U32 -> 4
+  | Bytes n -> n
+  | Slots { stride; count } -> stride * count
+
+let add ?at ?(transient = false) t name kind =
+  if t.sealed <> None then
+    invalid_arg (Printf.sprintf "Layout %s: field %S added after seal" t.tag name);
+  if List.exists (fun f -> f.name = name) t.fields then
+    invalid_arg (Printf.sprintf "Layout %s: duplicate field %S" t.tag name);
+  let off =
+    match at with
+    | None -> round_up t.cursor (natural_align kind)
+    | Some off ->
+        if off < t.cursor then
+          invalid_arg
+            (Printf.sprintf "Layout %s: field %S at %d overlaps cursor %d" t.tag name
+               off t.cursor)
+        else if off land (natural_align kind - 1) <> 0 then
+          invalid_arg
+            (Printf.sprintf "Layout %s: field %S at %d misaligned" t.tag name off)
+        else off
+  in
+  let size = kind_size kind in
+  let field = { owner = t.tag; name; off; size; kind; transient } in
+  t.cursor <- off + size;
+  t.fields <- field :: t.fields;
+  field
+
+let word ?at ?transient t name = add ?at ?transient t name Word
+
+let i64 ?at ?transient t name = add ?at ?transient t name I64
+
+let u8 ?at ?transient t name = add ?at ?transient t name U8
+
+let u16 ?at ?transient t name = add ?at ?transient t name U16
+
+let u32 ?at ?transient t name = add ?at ?transient t name U32
+
+let bytes ?at ?transient t name n = add ?at ?transient t name (Bytes n)
+
+let slots ?at ?transient t name ~stride ~count =
+  if stride <= 0 || count <= 0 then
+    invalid_arg (Printf.sprintf "Layout %s: field %S empty slots" t.tag name);
+  add ?at ?transient t name (Slots { stride; count })
+
+let align t n =
+  if t.sealed <> None then invalid_arg (Printf.sprintf "Layout %s: align after seal" t.tag);
+  t.cursor <- round_up t.cursor n
+
+let seal ?size t =
+  let final =
+    match size with
+    | None -> round_up t.cursor 8
+    | Some s ->
+        if s < t.cursor then
+          invalid_arg
+            (Printf.sprintf "Layout %s: seal size %d below cursor %d" t.tag s t.cursor)
+        else s
+  in
+  t.sealed <- Some final;
+  final
+
+let size t =
+  match t.sealed with
+  | Some s -> s
+  | None -> invalid_arg (Printf.sprintf "Layout %s: size before seal" t.tag)
+
+let fields t = List.rev t.fields
+
+let off f = f.off
+
+let field_size f = f.size
+
+let is_transient f = f.transient
+
+let slot f i =
+  match f.kind with
+  | Slots { stride; count } ->
+      if i < 0 || i >= count then
+        invalid_arg
+          (Printf.sprintf "Layout %s.%s: slot %d outside [0, %d)" f.owner f.name i count)
+      else f.off + (i * stride)
+  | _ -> invalid_arg (Printf.sprintf "Layout %s.%s: not a slots field" f.owner f.name)
+
+let stride f =
+  match f.kind with
+  | Slots { stride; _ } -> stride
+  | _ -> invalid_arg (Printf.sprintf "Layout %s.%s: not a slots field" f.owner f.name)
+
+let pp_field ppf f =
+  Format.fprintf ppf "%s@%d+%d%s" f.name f.off f.size (if f.transient then " (t)" else "")
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>layout %s (%s):@,%a@]" t.tag
+    (match t.sealed with Some s -> Printf.sprintf "%dB" s | None -> "unsealed")
+    (Format.pp_print_list pp_field)
+    (fields t)

@@ -1,0 +1,123 @@
+module Layout = Layout
+module Sanitizer = Sanitizer
+module Pool = Nvm.Pool
+
+type obj = { pool : Nvm.Pool.t; off : int }
+
+let make pool off = { pool; off }
+
+let pool o = o.pool
+
+let base o = o.off
+
+let shift o delta = { o with off = o.off + delta }
+
+let equal a b = a.pool == b.pool && a.off = b.off
+
+let pp ppf o = Format.fprintf ppf "%s+%d" (Pool.name o.pool) o.off
+
+(* {2 Raw accessors} — offsets relative to the object base.  These are
+   the escape hatch for variable-length regions (keys, values, anchor
+   bytes) that a static layout can't name per element. *)
+
+let read_int o rel = Pool.read_int o.pool (o.off + rel)
+
+let write_int o rel v = Pool.write_int o.pool (o.off + rel) v
+
+let read_i64 o rel = Pool.read_int64 o.pool (o.off + rel)
+
+let write_i64 o rel v = Pool.write_int64 o.pool (o.off + rel) v
+
+let read_u8 o rel = Pool.read_u8 o.pool (o.off + rel)
+
+let write_u8 o rel v = Pool.write_u8 o.pool (o.off + rel) v
+
+let read_u16 o rel = Pool.read_u16 o.pool (o.off + rel)
+
+let write_u16 o rel v = Pool.write_u16 o.pool (o.off + rel) v
+
+let read_u32 o rel = Pool.read_u32 o.pool (o.off + rel)
+
+let write_u32 o rel v = Pool.write_u32 o.pool (o.off + rel) v
+
+let read_string o rel len = Pool.read_string o.pool (o.off + rel) len
+
+let write_string o rel s = Pool.write_string o.pool (o.off + rel) s
+
+let blit_to_bytes o rel buf pos len = Pool.blit_to_bytes o.pool (o.off + rel) buf pos len
+
+let compare_string o rel len s = Pool.compare_string o.pool (o.off + rel) len s
+
+let fill_zero o rel len = Pool.fill_zero o.pool (o.off + rel) len
+
+let cas o rel ~expected v = Pool.cas_int o.pool (o.off + rel) ~expected v
+
+(* {2 Typed field accessors} *)
+
+let suppress_if_transient f write =
+  if Layout.is_transient f then Sanitizer.with_suppressed write else write ()
+
+let get_int o f = read_int o (Layout.off f)
+
+let set_int o f v = suppress_if_transient f (fun () -> write_int o (Layout.off f) v)
+
+let get_i64 o f = read_i64 o (Layout.off f)
+
+let set_i64 o f v = suppress_if_transient f (fun () -> write_i64 o (Layout.off f) v)
+
+let get_u8 o f = read_u8 o (Layout.off f)
+
+let set_u8 o f v = suppress_if_transient f (fun () -> write_u8 o (Layout.off f) v)
+
+let get_u16 o f = read_u16 o (Layout.off f)
+
+let set_u16 o f v = suppress_if_transient f (fun () -> write_u16 o (Layout.off f) v)
+
+let get_u32 o f = read_u32 o (Layout.off f)
+
+let set_u32 o f v = suppress_if_transient f (fun () -> write_u32 o (Layout.off f) v)
+
+let cas_field o f ~expected v =
+  suppress_if_transient f (fun () -> cas o (Layout.off f) ~expected v)
+
+(* {2 Persistence} *)
+
+let clwb o rel = Pool.clwb o.pool (o.off + rel)
+
+let flush o rel len = Pool.flush_range o.pool (o.off + rel) len
+
+let fence o = Pool.fence o.pool
+
+let persist o rel len = Pool.persist o.pool (o.off + rel) len
+
+let flush_field o f = flush o (Layout.off f) (Layout.field_size f)
+
+let persist_field o f =
+  flush_field o f;
+  fence o
+
+let flush_obj o layout = flush o 0 (Layout.size layout)
+
+let persist_obj o layout =
+  flush_obj o layout;
+  fence o
+
+(* Ordered-store primitives: write-and-flush without the trailing
+   fence, so several can share one ordering point. *)
+
+let p_store o f v =
+  set_int o f v;
+  flush_field o f
+
+let p_cas o f ~expected v =
+  let ok = cas_field o f ~expected v in
+  if ok then flush_field o f;
+  ok
+
+(* {2 Transient stores} — deliberately never flushed (version-lock
+   words, selectively persisted regions); exempt from the sanitizer. *)
+
+let transient_store o rel v = Sanitizer.with_suppressed (fun () -> write_int o rel v)
+
+let transient_cas o rel ~expected v =
+  Sanitizer.with_suppressed (fun () -> cas o rel ~expected v)

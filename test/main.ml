@@ -4,6 +4,7 @@ let () =
       ("des", Test_des.suite);
       ("nvm", Test_nvm.suite);
       ("pmalloc", Test_pmalloc.suite);
+      ("pobj", Test_pobj.suite);
       ("art", Test_art.suite);
       ("pdlart_props", Test_pdlart_props.suite);
       ("data_node", Test_data_node.suite);

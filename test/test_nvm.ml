@@ -70,6 +70,67 @@ let test_flaky_crash_probabilistic () =
   Alcotest.(check bool) "some survived" true (!survived > 10);
   Alcotest.(check bool) "some lost" true (!survived < 90)
 
+(* A persist whose byte range straddles a 64B line boundary must flush
+   both lines — an off-by-one in the first/last line computation would
+   leave the tail line volatile. *)
+let test_persist_straddles_line () =
+  let m = make_machine () in
+  let p = make_pool m in
+  Pool.write_string p 56 "straddles-a-line";
+  let before = (Machine.stats m).Stats.flushes in
+  Pool.persist p 56 16;
+  Alcotest.(check int) "two lines flushed" 2 ((Machine.stats m).Stats.flushes - before);
+  Machine.crash m Machine.Strict;
+  Alcotest.(check string) "straddling value survives" "straddles-a-line"
+    (Pool.read_string p 56 16)
+
+let test_flush_range_zero_len () =
+  let m = make_machine () in
+  let p = make_pool m in
+  Pool.write_int p 0 9;
+  let before = (Machine.stats m).Stats.flushes in
+  Pool.flush_range p 0 0;
+  Pool.persist p 0 0;
+  Alcotest.(check int) "zero-length flushes nothing" 0
+    ((Machine.stats m).Stats.flushes - before);
+  Machine.crash m Machine.Strict;
+  Alcotest.(check int) "zero-length persists nothing" 0 (Pool.read_int p 0)
+
+let test_persist_end_of_pool () =
+  let capacity = 1 lsl 16 in
+  let m = make_machine () in
+  let p = make_pool ~capacity m in
+  Pool.write_int p (capacity - 8) 4242;
+  Pool.persist p (capacity - 8) 8 (* last 8 bytes: must not run past the pool *);
+  Pool.flush_range p (capacity - 64) 64;
+  Machine.crash m Machine.Strict;
+  Alcotest.(check int) "last line survives" 4242 (Pool.read_int p (capacity - 8))
+
+(* One line flushed twice in a row with no intervening store: the
+   second clwb is redundant and must be counted as elidable — and with
+   elision off (the default) still executed. *)
+let test_flush_tracking_counts_redundant () =
+  let m = make_machine () in
+  let p = make_pool m in
+  Pool.write_int p 0 1;
+  Pool.persist p 0 8;
+  let s = Machine.stats m in
+  let flushes = s.Stats.flushes and elided = s.Stats.flushes_elided in
+  Pool.persist p 0 8;
+  Alcotest.(check int) "redundant clwb counted as elidable" (elided + 1)
+    s.Stats.flushes_elided;
+  Alcotest.(check int) "still executed with elision off" (flushes + 1) s.Stats.flushes;
+  Machine.set_flush_elision m true;
+  Pool.persist p 0 8;
+  Alcotest.(check int) "skipped with elision on" (flushes + 1) s.Stats.flushes;
+  Alcotest.(check int) "and still counted" (elided + 2) s.Stats.flushes_elided;
+  (* After a fresh store the line is genuinely dirty again. *)
+  Pool.write_int p 0 2;
+  Pool.persist p 0 8;
+  Alcotest.(check int) "dirty line not elided" (flushes + 2) s.Stats.flushes;
+  Machine.crash m Machine.Strict;
+  Alcotest.(check int) "value durable throughout" 2 (Pool.read_int p 0)
+
 let test_flaky_p1_persists_all_dirty () =
   let m = make_machine () in
   let p = make_pool m in
@@ -313,6 +374,11 @@ let suite =
     Alcotest.test_case "crash: flaky p=1 evicts dirty" `Quick
       test_flaky_p1_persists_all_dirty;
     Alcotest.test_case "crash: clwb snapshots its line" `Quick test_overwrite_after_clwb;
+    Alcotest.test_case "persist: straddles a 64B line" `Quick test_persist_straddles_line;
+    Alcotest.test_case "persist: zero-length is a no-op" `Quick test_flush_range_zero_len;
+    Alcotest.test_case "persist: end of pool" `Quick test_persist_end_of_pool;
+    Alcotest.test_case "flush tracking: redundant clwbs" `Quick
+      test_flush_tracking_counts_redundant;
     Alcotest.test_case "crash: volatile pool wiped" `Quick test_volatile_pool_lost_on_crash;
     Alcotest.test_case "pool: media image inspection" `Quick test_media_read_int;
     Alcotest.test_case "stats: flush/fence counts" `Quick test_flush_counts;

@@ -205,6 +205,7 @@ let sample_entry =
     e_phase_pct = List.map (fun p -> (Span.phase_name p, 12.5)) Span.all_phases;
     e_phase_us = List.map (fun p -> (Span.phase_name p, 10.0)) Span.all_phases;
     e_flushes_per_op = 2.0;
+    e_flushes_elided_per_op = 0.5;
     e_fences_per_op = 1.0;
     e_media_read_bytes_per_op = 100.0;
     e_media_write_bytes_per_op = 50.0;

@@ -35,6 +35,32 @@ let test_pptr_qcheck_roundtrip =
       && Pptr.pool (Pptr.tagged p) = pool
       && Pptr.off (Pptr.untag (Pptr.tagged p)) = off)
 
+(* Offsets drawn right at the 40-bit field boundary: the largest
+   aligned offsets must survive the pack, and the pool id must not
+   bleed into them (an off-by-one in the shift would). *)
+let test_pptr_qcheck_boundary =
+  QCheck.Test.make ~name:"pptr: roundtrip at the 40-bit boundary" ~count:500
+    QCheck.(pair (int_bound ((1 lsl 22) - 1)) (int_bound 4095))
+    (fun (pool, slack) ->
+      let off = ((1 lsl 40) - 1 - slack) land lnot 7 in
+      let p = Pptr.make ~pool ~off in
+      Pptr.pool p = pool && Pptr.off p = off
+      && Pptr.off (Pptr.untag (Pptr.tagged p)) = off
+      && Pptr.pool (Pptr.tagged p) = pool)
+
+let test_pptr_make_raises () =
+  let raises pool off =
+    match Pptr.make ~pool ~off with
+    | exception Invalid_argument _ -> true
+    | _ -> false
+  in
+  Alcotest.(check bool) "pool = 2^22 rejected" true (raises (1 lsl 22) 0);
+  Alcotest.(check bool) "negative pool rejected" true (raises (-1) 0);
+  Alcotest.(check bool) "off = 2^40 rejected" true (raises 0 (1 lsl 40));
+  Alcotest.(check bool) "negative off rejected" true (raises 0 (-8));
+  Alcotest.(check bool) "max legal values accepted" false
+    (raises ((1 lsl 22) - 1) ((1 lsl 40) - 8))
+
 let test_alloc_returns_distinct () =
   let m = make_machine () in
   let h = make_heap m in
@@ -231,6 +257,8 @@ let suite =
     Alcotest.test_case "pptr: pack/unpack" `Quick test_pptr_pack_unpack;
     Alcotest.test_case "pptr: tagging" `Quick test_pptr_tag;
     QCheck_alcotest.to_alcotest test_pptr_qcheck_roundtrip;
+    QCheck_alcotest.to_alcotest test_pptr_qcheck_boundary;
+    Alcotest.test_case "pptr: make rejects out-of-range" `Quick test_pptr_make_raises;
     Alcotest.test_case "heap: distinct allocations" `Quick test_alloc_returns_distinct;
     Alcotest.test_case "heap: NUMA-local pools (GS2)" `Quick test_alloc_numa_local;
     Alcotest.test_case "heap: thread NUMA default" `Quick test_alloc_uses_thread_numa;

@@ -1,0 +1,219 @@
+(* Tests for the typed persistent-object layer: declarative layouts,
+   typed accessors, and the persist-order sanitizer. *)
+
+module Machine = Nvm.Machine
+module Pool = Nvm.Pool
+module Layout = Pobj.Layout
+module Sanitizer = Pobj.Sanitizer
+
+let make_machine () = Machine.create ~numa_count:1 ()
+
+let make_pool machine = Pool.create machine ~name:"pobj-test" ~numa:0 ~capacity:(1 lsl 16) ()
+
+let raises_invalid f =
+  match f () with exception Invalid_argument _ -> true | _ -> false
+
+(* ---------- Layout ---------- *)
+
+let test_layout_offsets () =
+  let l = Layout.create "node" in
+  let a = Layout.u8 l "a" in
+  let b = Layout.u16 l "b" in
+  let c = Layout.word l "c" in
+  let d = Layout.bytes l "d" 5 in
+  let e = Layout.u32 l "e" in
+  let size = Layout.seal l in
+  Alcotest.(check int) "u8 first" 0 (Layout.off a);
+  Alcotest.(check int) "u16 2-aligned" 2 (Layout.off b);
+  Alcotest.(check int) "word 8-aligned" 8 (Layout.off c);
+  Alcotest.(check int) "bytes 8-aligned" 16 (Layout.off d);
+  Alcotest.(check int) "u32 4-aligned after 5B region" 24 (Layout.off e);
+  Alcotest.(check int) "sealed size rounds to 8" 32 size;
+  Alcotest.(check int) "size accessor" 32 (Layout.size l)
+
+let test_layout_pinned_and_slots () =
+  let l = Layout.create "leaf" in
+  let lock = Layout.word ~transient:true l "lock" in
+  let bitmap = Layout.i64 ~at:8 l "bitmap" in
+  let recs = Layout.slots ~at:64 l "recs" ~stride:16 ~count:4 in
+  let size = Layout.seal ~size:192 l in
+  Alcotest.(check int) "padded size respected" 192 size;
+  Alcotest.(check bool) "transient flag" true (Layout.is_transient lock);
+  Alcotest.(check bool) "persistent by default" false (Layout.is_transient bitmap);
+  Alcotest.(check int) "slot 0" 64 (Layout.slot recs 0);
+  Alcotest.(check int) "slot 3" 112 (Layout.slot recs 3);
+  Alcotest.(check int) "stride" 16 (Layout.stride recs);
+  Alcotest.(check bool) "slot -1 rejected" true (raises_invalid (fun () -> Layout.slot recs (-1)));
+  Alcotest.(check bool) "slot 4 rejected" true (raises_invalid (fun () -> Layout.slot recs 4))
+
+let test_layout_misuse_rejected () =
+  let l = Layout.create "bad" in
+  let _a = Layout.word l "a" in
+  Alcotest.(check bool) "duplicate name" true
+    (raises_invalid (fun () -> Layout.word l "a"));
+  Alcotest.(check bool) "pinned overlap" true
+    (raises_invalid (fun () -> Layout.i64 ~at:4 l "b"));
+  let _ = Layout.seal l in
+  Alcotest.(check bool) "field after seal" true
+    (raises_invalid (fun () -> Layout.word l "c"));
+  Alcotest.(check bool) "undersized pad rejected" true
+    (raises_invalid
+       (fun () ->
+         let l2 = Layout.create "bad2" in
+         let _ = Layout.bytes l2 "blob" 64 in
+         Layout.seal ~size:32 l2))
+
+(* ---------- Typed accessors ---------- *)
+
+let test_typed_accessors () =
+  let m = make_machine () in
+  let p = make_pool m in
+  let l = Layout.create "rec" in
+  let f_w = Layout.word l "w" in
+  let f_i = Layout.i64 l "i" in
+  let f_b = Layout.u8 l "b" in
+  let f_s = Layout.u16 l "s" in
+  let f_u = Layout.u32 l "u" in
+  let size = Layout.seal l in
+  let o = Pobj.make p 128 in
+  Pobj.set_int o f_w 123456;
+  Pobj.set_i64 o f_i (-7L);
+  Pobj.set_u8 o f_b 0xAB;
+  Pobj.set_u16 o f_s 0xBEEF;
+  Pobj.set_u32 o f_u 0xDEADBEE;
+  Alcotest.(check int) "word" 123456 (Pobj.get_int o f_w);
+  Alcotest.(check int64) "i64" (-7L) (Pobj.get_i64 o f_i);
+  Alcotest.(check int) "u8" 0xAB (Pobj.get_u8 o f_b);
+  Alcotest.(check int) "u16" 0xBEEF (Pobj.get_u16 o f_s);
+  Alcotest.(check int) "u32" 0xDEADBEE (Pobj.get_u32 o f_u);
+  (* Base-relative raw access sees the same bytes as the pool. *)
+  Alcotest.(check int) "raw = pool view" (Pool.read_int p (128 + Layout.off f_w))
+    (Pobj.read_int o (Layout.off f_w));
+  Alcotest.(check bool) "cas succeeds" true
+    (Pobj.cas_field o f_w ~expected:123456 789);
+  Alcotest.(check int) "cas wrote" 789 (Pobj.get_int o f_w);
+  Alcotest.(check bool) "stale cas fails" false
+    (Pobj.cas_field o f_w ~expected:123456 0);
+  Pobj.persist_obj o l;
+  Machine.crash m Machine.Strict;
+  Alcotest.(check int) "whole object durable" 789 (Pobj.get_int o f_w);
+  ignore size
+
+let test_shift_and_strings () =
+  let m = make_machine () in
+  let p = make_pool m in
+  let o = Pobj.make p 256 in
+  let s = Pobj.shift o 64 in
+  Alcotest.(check int) "shift adds to base" 320 (Pobj.base s);
+  Pobj.write_string s 0 "anchor-key";
+  Alcotest.(check string) "string roundtrip" "anchor-key" (Pobj.read_string s 0 10);
+  Alcotest.(check int) "compare equal" 0 (Pobj.compare_string s 0 10 "anchor-key");
+  Alcotest.(check bool) "compare less" true (Pobj.compare_string s 0 10 "anchor-kez" < 0);
+  Pobj.fill_zero s 0 10;
+  Alcotest.(check string) "filled" "\000\000" (Pobj.read_string s 0 2)
+
+(* ---------- Sanitizer ---------- *)
+
+(* Run [f] on a simulated thread so stores/fences carry a real tid. *)
+let on_thread f =
+  let sched = Des.Sched.create () in
+  Des.Sched.spawn sched ~name:"t0" (fun () -> f ());
+  Des.Sched.run sched
+
+let test_sanitizer_flags_unflushed_store () =
+  let m = make_machine () in
+  let p = make_pool m in
+  Sanitizer.enable m;
+  on_thread (fun () ->
+      Pool.write_int p 0 42;
+      (* no clwb *)
+      Pool.fence p);
+  Alcotest.(check bool) "hazard reported" true (Sanitizer.total () > 0);
+  (match Sanitizer.reports () with
+  | r :: _ ->
+      Alcotest.(check int) "line 0" 0 r.Sanitizer.r_line;
+      Alcotest.(check int) "one occurrence" 1 r.Sanitizer.r_count
+  | [] -> Alcotest.fail "expected a report");
+  Sanitizer.disable m
+
+let test_sanitizer_clwb_discharges () =
+  let m = make_machine () in
+  let p = make_pool m in
+  Sanitizer.enable m;
+  on_thread (fun () ->
+      Pool.write_int p 0 42;
+      Pool.persist p 0 8;
+      (* and a redundant re-flush must not re-open anything *)
+      Pool.persist p 0 8);
+  Alcotest.(check int) "clean" 0 (Sanitizer.total ());
+  Sanitizer.disable m
+
+let test_sanitizer_suppression () =
+  let m = make_machine () in
+  let p = make_pool m in
+  let l = Layout.create "vlock" in
+  let f_lock = Layout.word ~transient:true l "lock" in
+  let f_data = Layout.word l "data" in
+  let _ = Layout.seal l in
+  Sanitizer.enable m;
+  on_thread (fun () ->
+      let o = Pobj.make p 0 in
+      (* transient field store + explicit suppression: both exempt *)
+      Pobj.set_int o f_lock 1;
+      Sanitizer.with_suppressed (fun () -> Pool.write_int p 512 7);
+      Pobj.set_int o f_data 9;
+      Pobj.persist_field o f_data;
+      Pool.fence p);
+  Alcotest.(check int) "no false positives" 0 (Sanitizer.total ());
+  Sanitizer.disable m
+
+let test_sanitizer_cross_thread_flush_counts () =
+  let m = make_machine () in
+  let p = make_pool m in
+  Sanitizer.enable m;
+  let sched = Des.Sched.create () in
+  let wq = Des.Sched.Waitq.create () in
+  let stored = ref false in
+  Des.Sched.spawn sched ~name:"storer" (fun () ->
+      Pool.write_int p 0 1;
+      stored := true;
+      (match Des.Sched.self () with
+      | Some s -> Des.Sched.Waitq.signal_all s wq
+      | None -> ());
+      Des.Sched.delay 1e-6;
+      (* flusher's clwb discharged the obligation; our fence is clean *)
+      Pool.fence p);
+  Des.Sched.spawn sched ~name:"flusher" (fun () ->
+      if not !stored then Des.Sched.Waitq.wait wq;
+      Pool.clwb p 0;
+      Pool.fence p);
+  Des.Sched.run sched;
+  Alcotest.(check int) "any thread's clwb discharges" 0 (Sanitizer.total ());
+  Sanitizer.disable m
+
+let test_sanitizer_disable_detaches () =
+  let m = make_machine () in
+  let p = make_pool m in
+  Sanitizer.enable m;
+  Sanitizer.disable m;
+  on_thread (fun () ->
+      Pool.write_int p 0 42;
+      Pool.fence p);
+  Alcotest.(check bool) "inactive" false (Sanitizer.active ())
+
+let suite =
+  [
+    Alcotest.test_case "layout: sequential offsets" `Quick test_layout_offsets;
+    Alcotest.test_case "layout: pinned fields and slots" `Quick test_layout_pinned_and_slots;
+    Alcotest.test_case "layout: misuse rejected" `Quick test_layout_misuse_rejected;
+    Alcotest.test_case "pobj: typed accessors" `Quick test_typed_accessors;
+    Alcotest.test_case "pobj: shift and strings" `Quick test_shift_and_strings;
+    Alcotest.test_case "sanitizer: unflushed store flagged" `Quick
+      test_sanitizer_flags_unflushed_store;
+    Alcotest.test_case "sanitizer: clwb discharges" `Quick test_sanitizer_clwb_discharges;
+    Alcotest.test_case "sanitizer: transient + suppressed exempt" `Quick
+      test_sanitizer_suppression;
+    Alcotest.test_case "sanitizer: cross-thread clwb" `Quick
+      test_sanitizer_cross_thread_flush_counts;
+    Alcotest.test_case "sanitizer: disable detaches" `Quick test_sanitizer_disable_detaches;
+  ]
