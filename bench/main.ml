@@ -105,6 +105,36 @@ let stats scale =
   | Ok () -> Format.printf "(rows conform to schema %s)@." Obs.Report.schema_version
   | Error msg -> failwith ("stats: malformed bench output: " ^ msg)
 
+(* Sharded KV service saturation curves (lib/svc): open-loop sweep
+   across the knee for PACTree and FastFair-backed stores, validated
+   in-memory against the pactree-svc/v1 shape checks.  (The canonical
+   JSON is emitted by `pactree_bench service`.) *)
+let service scale =
+  let quick = scale.Experiments.Scale.keys < 1_000_000 in
+  Format.printf "@.=== service: sharded store saturation sweep ===@.";
+  List.iter
+    (fun sys ->
+      let cfg = Experiments.Svc_run.default ~quick sys in
+      let points = Experiments.Svc_run.sweep cfg in
+      Format.printf "--- %s (%d shards, batch %d) ---@." (Experiments.Factory.name sys)
+        cfg.Experiments.Svc_run.shards cfg.Experiments.Svc_run.max_batch;
+      Format.printf
+        " offered   achieved    rej    q-p50us    q-p99us    s-p99us    t-p99us  imbal \
+         w/batch@.";
+      List.iter
+        (fun (_, r) ->
+          Format.printf "%a@." Obs.Svc_report.pp_point
+            (Experiments.Svc_run.point_of_result r))
+        points;
+      (match Experiments.Svc_run.check_sweep points with
+      | Ok () -> Format.printf "(sweep shape OK: monotone, knee, queueing delay)@."
+      | Error msg -> failwith ("service sweep: " ^ msg));
+      match Obs.Svc_report.validate (Experiments.Svc_run.report cfg points) with
+      | Ok () ->
+          Format.printf "(points conform to schema %s)@." Obs.Svc_report.schema_version
+      | Error msg -> failwith ("service: malformed report: " ^ msg))
+    [ Experiments.Factory.Pactree_sys; Experiments.Factory.Fastfair_sys ]
+
 let all_figures =
   [
     ("fig2", Experiments.Figures.fig2);
@@ -125,6 +155,7 @@ let all_figures =
     ("sec6_8", Experiments.Figures.sec6_8);
     ("crashmc", crashmc);
     ("stats", stats);
+    ("service", service);
   ]
 
 let () =

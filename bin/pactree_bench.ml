@@ -452,7 +452,177 @@ let crashmc_cmd =
       const run_crashmc $ index_arg $ ops_arg $ budget_arg $ max_states_arg
       $ seed_arg $ workload_arg $ mutate_arg)
 
+(* ---------- service: sharded KV service saturation sweep ---------- *)
+
+let sweep_header =
+  Printf.sprintf "%8s %9s %7s %9s %9s %9s %9s %6s %7s" "offered" "achieved" "rej"
+    "q-p50us" "q-p99us" "s-p99us" "t-p99us" "imbal" "w/batch"
+
+let run_service sys shards quick keys ops workers queue batch batch_delay_us admission
+    arrival mix theta out check obs_out =
+  match check with
+  | Some path -> (
+      match Obs.Svc_report.validate_file path with
+      | Ok () -> Format.printf "%s: OK (schema %s)@." path Obs.Svc_report.schema_version
+      | Error msg ->
+          Format.eprintf "%s: INVALID: %s@." path msg;
+          exit 1)
+  | None ->
+      let admission =
+        match Svc.Engine.admission_of_string admission with
+        | Ok a -> a
+        | Error msg ->
+            prerr_endline msg;
+            exit 2
+      in
+      let process =
+        match Workload.Arrival.process_of_string arrival with
+        | Ok p -> p
+        | Error msg ->
+            prerr_endline msg;
+            exit 2
+      in
+      let d = Experiments.Svc_run.default ~quick sys in
+      let cfg =
+        {
+          d with
+          Experiments.Svc_run.shards;
+          keys = Option.value keys ~default:d.Experiments.Svc_run.keys;
+          ops = Option.value ops ~default:d.Experiments.Svc_run.ops;
+          workers_per_shard = workers;
+          queue_capacity = queue;
+          admission;
+          process;
+          max_batch = batch;
+          max_batch_delay = batch_delay_us *. 1e-6;
+          mix;
+          theta;
+        }
+      in
+      Format.printf "service    : %s, %d shards x %d workers, queue %d, %s admission@."
+        (Experiments.Factory.name sys) cfg.Experiments.Svc_run.shards
+        cfg.Experiments.Svc_run.workers_per_shard cfg.Experiments.Svc_run.queue_capacity
+        (Svc.Engine.admission_name admission);
+      Format.printf
+        "load       : %s arrivals, %a mix, %d keys, %d ops/point, theta %.2f, batch %d \
+         (%.1f us delay)@."
+        (Workload.Arrival.process_name process)
+        Workload.Ycsb.pp_mix cfg.Experiments.Svc_run.mix cfg.Experiments.Svc_run.keys
+        cfg.Experiments.Svc_run.ops cfg.Experiments.Svc_run.theta
+        cfg.Experiments.Svc_run.max_batch
+        (cfg.Experiments.Svc_run.max_batch_delay *. 1e6);
+      (* Time-only recorder (each sweep point runs on a fresh machine):
+         attributes simulated time to the svc_queue / svc_batch phases
+         across the whole sweep. *)
+      let span = Option.map (fun _ -> Obs.Span.create ()) obs_out in
+      Option.iter Obs.Span.install span;
+      let points =
+        Fun.protect
+          ~finally:(fun () -> Option.iter Obs.Span.uninstall span)
+          (fun () -> Experiments.Svc_run.sweep cfg)
+      in
+      print_endline sweep_header;
+      List.iter
+        (fun (_, r) ->
+          Format.printf "%a@." Obs.Svc_report.pp_point
+            (Experiments.Svc_run.point_of_result r))
+        points;
+      (match List.find_opt Experiments.Svc_run.saturated points with
+      | Some (rate, r) ->
+          Format.printf "knee       : saturates at %.3f Mops/s offered (achieves %.3f)@."
+            (rate /. 1e6)
+            (r.Svc.Engine.r_throughput /. 1e6)
+      | None -> ());
+      (match Experiments.Svc_run.check_sweep points with
+      | Ok () -> ()
+      | Error msg ->
+          Format.eprintf "service sweep failed shape checks: %s@." msg;
+          exit 1);
+      Obs.Svc_report.write_file out (Experiments.Svc_run.report cfg points);
+      Format.printf "wrote %s (schema %s, %d points)@." out Obs.Svc_report.schema_version
+        (List.length points);
+      match (obs_out, span) with
+      | Some path, Some s ->
+          Format.printf "%a@." Obs.Span.pp_table s;
+          write_json path (Obs.Span.to_json s);
+          Format.printf "observability dump: %s@." path
+      | _ -> ()
+
+let service_cmd =
+  let doc =
+    "Saturation sweep of the sharded KV service (lib/svc): open-loop load against a \
+     range-partitioned store with group-commit batching, reporting \
+     throughput-vs-offered, queue/service latency split and rejection rates as \
+     schema-validated JSON; or validate an existing file with --check."
+  in
+  let shards_arg =
+    Arg.(value & opt int 4 & info [ "shards" ] ~doc:"Range partitions (one log each).")
+  in
+  let quick_arg =
+    Arg.(value & flag & info [ "quick" ] ~doc:"Reduced scale for CI (seconds).")
+  in
+  let keys_opt_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "keys" ] ~doc:"Pre-loaded key count (default: scale preset).")
+  in
+  let ops_opt_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "ops" ] ~doc:"Requests per sweep point (default: scale preset).")
+  in
+  let workers_arg =
+    Arg.(value & opt int 2 & info [ "workers" ] ~doc:"Worker threads per shard.")
+  in
+  let queue_arg =
+    Arg.(value & opt int 64 & info [ "queue" ] ~doc:"Per-shard queue capacity.")
+  in
+  let batch_arg =
+    Arg.(value & opt int 8 & info [ "batch" ] ~doc:"Max writes per group commit.")
+  in
+  let batch_delay_arg =
+    Arg.(
+      value & opt float 2.0
+      & info [ "batch-delay-us" ]
+          ~doc:"Max time a worker waits to fill a batch (microseconds).")
+  in
+  let admission_arg =
+    Arg.(
+      value & opt string "reject"
+      & info [ "admission" ] ~docv:"POLICY"
+          ~doc:"Full-queue policy: reject (open-loop preserving) or block.")
+  in
+  let arrival_arg =
+    Arg.(
+      value & opt string "poisson"
+      & info [ "arrival" ] ~docv:"PROCESS" ~doc:"Arrival process: poisson or uniform.")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt string "SVC_pactree.json"
+      & info [ "out" ] ~docv:"FILE" ~doc:"Output path.")
+  in
+  let check_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "check" ] ~docv:"FILE"
+          ~doc:"Validate $(docv) against the schema and exit (no sweep run).")
+  in
+  Cmd.v
+    (Cmd.info "service" ~doc)
+    Term.(
+      const run_service $ index_arg $ shards_arg $ quick_arg $ keys_opt_arg $ ops_opt_arg
+      $ workers_arg $ queue_arg $ batch_arg $ batch_delay_arg $ admission_arg
+      $ arrival_arg $ mix_arg $ theta_arg $ out_arg $ check_arg $ obs_arg)
+
 let () =
   let doc = "PACTree (SOSP'21) reproduction benchmarks on a simulated NVM machine." in
   let info = Cmd.info "pactree_bench" ~doc in
-  exit (Cmd.eval (Cmd.group info [ ycsb_cmd; figure_cmd; crash_cmd; crashmc_cmd; stats_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ ycsb_cmd; figure_cmd; crash_cmd; crashmc_cmd; stats_cmd; service_cmd ]))

@@ -27,18 +27,22 @@ let apply map = function
    [at]: ops whose last persistence event precedes the crash point are
    decided (their effect must survive — the persistent state is
    indistinguishable from one where the op returned and was
-   acknowledged); at most one op spans the point and is in flight (it
-   may or may not have taken effect); later ops never started. *)
+   acknowledged); ops spanning the point are in flight (each may or
+   may not have taken effect, in program order — with group-commit
+   batches every member of the interrupted batch shares the crash
+   window); later ops never started.  The universe collects every key
+   the history may have touched by [at]. *)
 let split_at history ~at =
-  let rec go decided universe = function
-    | [] -> (decided, None, universe)
+  let rec go decided inflight universe = function
+    | [] -> (decided, List.rev inflight, universe)
     | e :: rest ->
         if e.end_seq <= at then
-          go (apply decided e.op) (KMap.add (op_key e.op) () universe) rest
-        else if e.start_seq < at then (decided, Some e.op, universe)
-        else (decided, None, universe)
+          go (apply decided e.op) inflight (KMap.add (op_key e.op) () universe) rest
+        else if e.start_seq < at then
+          go decided (e.op :: inflight) (KMap.add (op_key e.op) () universe) rest
+        else (decided, List.rev inflight, universe)
   in
-  go KMap.empty KMap.empty history
+  go KMap.empty [] KMap.empty history
 
 let pp_value = function Some v -> string_of_int v | None -> "absent"
 
@@ -50,10 +54,17 @@ let check ~history ~at ~lookup ~scan ~invariants =
   let decided, inflight, universe = split_at history ~at in
   let allowed k =
     let base = KMap.find_opt k decided in
-    match inflight with
-    | Some (Insert (k', v')) when Key.equal k k' -> [ base; Some v' ]
-    | Some (Delete k') when Key.equal k k' -> [ base; None ]
-    | _ -> [ base ]
+    (* Applying any in-order prefix of the in-flight ops leaves [k] at
+       [base] (no op on [k] applied yet) or at the effect of whichever
+       op on [k] came last in that prefix — i.e. any single in-flight
+       effect on [k] is reachable, since each op overwrites wholesale. *)
+    base
+    :: List.filter_map
+         (function
+           | Insert (k', v') when Key.equal k k' -> Some (Some v')
+           | Delete k' when Key.equal k k' -> Some None
+           | _ -> None)
+         inflight
   in
   let check_key k =
     let want = allowed k in
@@ -70,21 +81,12 @@ let check ~history ~at ~lookup ~scan ~invariants =
           k (Printexc.to_string exn)
   in
   KMap.iter (fun k () -> check_key k) universe;
-  (match inflight with
-  | Some op when not (KMap.mem (op_key op) universe) -> check_key (op_key op)
-  | _ -> ());
   (* Range scan: complete, duplicate-free, sorted, no phantoms. *)
-  let scan_from =
-    match (KMap.min_binding_opt universe, inflight) with
-    | Some (k, ()), Some op when Key.compare (op_key op) k < 0 -> Some (op_key op)
-    | Some (k, ()), _ -> Some k
-    | None, Some op -> Some (op_key op)
-    | None, None -> None
-  in
+  let scan_from = Option.map fst (KMap.min_binding_opt universe) in
   (match scan_from with
   | None -> ()
   | Some from -> (
-      let wanted = KMap.cardinal decided + 2 in
+      let wanted = KMap.cardinal decided + List.length inflight + 2 in
       match scan from wanted with
       | results ->
           let rec sorted = function
@@ -116,9 +118,9 @@ let check ~history ~at ~lookup ~scan ~invariants =
           KMap.iter
             (fun k _ ->
               let may_be_absent =
-                match inflight with
-                | Some (Delete k') -> Key.equal k k'
-                | _ -> false
+                List.exists
+                  (function Delete k' -> Key.equal k k' | _ -> false)
+                  inflight
               in
               if (not may_be_absent) && not (KMap.mem k seen) then
                 fail "scan: acknowledged key %a missing" (fun () k ->

@@ -2,7 +2,7 @@ module Machine = Nvm.Machine
 module Tree = Pactree.Tree
 module Index = Baselines.Index_intf
 
-type kind = Pactree | Pdlart | Fastfair | Bztree | Fptree
+type kind = Pactree | Pdlart | Fastfair | Bztree | Fptree | Custom of string
 
 let all = [ Pactree; Pdlart; Fastfair; Bztree; Fptree ]
 
@@ -12,6 +12,7 @@ let name = function
   | Fastfair -> "fastfair"
   | Bztree -> "bztree"
   | Fptree -> "fptree"
+  | Custom s -> s
 
 let of_string = function
   | "pactree" -> Some Pactree
@@ -40,9 +41,14 @@ let epoch_quiesce epoch =
     decr budget
   done
 
+let custom ~name ~machine ~index ~recover ?(invariants = ignore) ?(quiesce = ignore)
+    () =
+  { kind = Custom name; machine; index; recover; invariants; quiesce }
+
 let make ?(capacity = 1 lsl 18) kind =
   let machine = Machine.create ~numa_count:1 () in
   match kind with
+  | Custom _ -> invalid_arg "Sut.make: use Sut.custom for custom systems"
   | Pactree ->
       let cfg =
         {

@@ -7,8 +7,10 @@
     background work — SMO drain, epoch-deferred frees — so no stale
     closure from the recorded run fires on a restored image). *)
 
-type kind = Pactree | Pdlart | Fastfair | Bztree | Fptree
+type kind = Pactree | Pdlart | Fastfair | Bztree | Fptree | Custom of string
 
+(** The built-in index SUTs ({!Custom} systems are constructed with
+    {!custom}, not listed here). *)
 val all : kind list
 
 val name : kind -> string
@@ -21,6 +23,21 @@ type t
     [capacity] is bytes per persistent pool — keep it small; every
     materialized crash state blits the full image. *)
 val make : ?capacity:int -> kind -> t
+
+(** [custom ~name ~machine ~index ~recover ()] wraps an arbitrary
+    system (e.g. a sharded {e svc} store) for the harness.  The caller
+    is responsible for keeping pool capacities small — every
+    materialised crash state blits the full image of every pool on
+    [machine]. *)
+val custom :
+  name:string ->
+  machine:Nvm.Machine.t ->
+  index:Baselines.Index_intf.index ->
+  recover:(unit -> unit) ->
+  ?invariants:(unit -> unit) ->
+  ?quiesce:(unit -> unit) ->
+  unit ->
+  t
 
 val kind : t -> kind
 

@@ -37,6 +37,83 @@ let pactree_service t =
     shutdown = (fun () -> Tree.request_shutdown t);
   }
 
+let epoch_quiesce epoch =
+  let budget = ref 8 in
+  while Pactree.Epoch.pending epoch > 0 && !budget > 0 do
+    Pactree.Epoch.try_advance epoch;
+    decr budget
+  done
+
+(** [make_backend machine ~scale sys] builds one svc shard: the index
+    plus its recovery / invariant / quiesce hooks and background
+    service.  Mirrors [make] (same construction switch) with the
+    crash-facing closures the sharded store needs. *)
+let make_backend machine ?(string_keys = false) ~scale ?cfg sys : Svc.Store.backend =
+  let data_capacity = scale.Scale.data_capacity in
+  let search_capacity = scale.Scale.search_capacity in
+  match sys with
+  | Pactree_sys ->
+      let cfg =
+        match cfg with
+        | Some c -> c
+        | None ->
+            {
+              Tree.default_config with
+              key_inline = (if string_keys then 32 else 8);
+              data_capacity;
+              search_capacity;
+            }
+      in
+      let t = Tree.create machine ~cfg () in
+      {
+        Svc.Store.b_index = Baselines.Pactree_index.wrap t;
+        b_recover = (fun () -> ignore (Tree.recover t : int));
+        b_invariants = (fun () -> ignore (Tree.check_invariants t : int));
+        b_quiesce =
+          (fun () ->
+            Tree.drain_smo t;
+            epoch_quiesce (Tree.epoch t));
+        b_service = Some (pactree_service t);
+      }
+  | Pdlart_sys ->
+      let t = Baselines.Pdlart.create machine ~capacity:data_capacity () in
+      {
+        Svc.Store.b_index = Index.Index ((module Baselines.Pdlart.Index), t);
+        b_recover = (fun () -> Baselines.Pdlart.recover t);
+        b_invariants = ignore;
+        b_quiesce = (fun () -> epoch_quiesce (Baselines.Pdlart.epoch t));
+        b_service = None;
+      }
+  | Fastfair_sys ->
+      let t = Baselines.Fastfair.create machine ~string_keys ~capacity:data_capacity () in
+      {
+        Svc.Store.b_index = Index.Index ((module Baselines.Fastfair.Index), t);
+        b_recover = (fun () -> Baselines.Fastfair.recover t);
+        b_invariants = (fun () -> ignore (Baselines.Fastfair.check_invariants t : int));
+        b_quiesce = ignore;
+        b_service = None;
+      }
+  | Bztree_sys ->
+      let t =
+        Baselines.Bztree.create machine ~string_keys ~capacity:(4 * data_capacity) ()
+      in
+      {
+        Svc.Store.b_index = Index.Index ((module Baselines.Bztree.Index), t);
+        b_recover = (fun () -> Baselines.Bztree.recover t);
+        b_invariants = (fun () -> ignore (Baselines.Bztree.check_invariants t : int));
+        b_quiesce = ignore;
+        b_service = None;
+      }
+  | Fptree_sys ->
+      let t = Baselines.Fptree.create machine ~string_keys ~capacity:data_capacity () in
+      {
+        Svc.Store.b_index = Index.Index ((module Baselines.Fptree.Index), t);
+        b_recover = (fun () -> Baselines.Fptree.recover t);
+        b_invariants = (fun () -> ignore (Baselines.Fptree.check_invariants t : int));
+        b_quiesce = ignore;
+        b_service = None;
+      }
+
 (** [make machine sys] builds an index and its background service.
     [cfg] overrides PACTree's configuration (factor analysis). *)
 let make machine ?(string_keys = false) ~scale ?cfg sys :

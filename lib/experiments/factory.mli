@@ -26,3 +26,14 @@ val make :
   ?cfg:Pactree.Tree.config ->
   sys ->
   Baselines.Index_intf.index * Workload.Runner.service option
+
+(** One svc shard of the given system: index + recovery / invariant /
+    quiesce hooks + background service, for {!Svc.Store.create}'s
+    backend factory. *)
+val make_backend :
+  Nvm.Machine.t ->
+  ?string_keys:bool ->
+  scale:Scale.t ->
+  ?cfg:Pactree.Tree.config ->
+  sys ->
+  Svc.Store.backend

@@ -7,6 +7,8 @@ type phase =
   | Alloc
   | Flush_wait
   | Recovery
+  | Svc_queue
+  | Svc_batch
 
 let phase_name = function
   | Trie_search -> "trie_search"
@@ -17,9 +19,22 @@ let phase_name = function
   | Alloc -> "alloc"
   | Flush_wait -> "flush_wait"
   | Recovery -> "recovery"
+  | Svc_queue -> "svc_queue"
+  | Svc_batch -> "svc_batch"
 
 let all_phases =
-  [ Trie_search; Dnode_scan; Dnode_insert; Smo; Log_replay; Alloc; Flush_wait; Recovery ]
+  [
+    Trie_search;
+    Dnode_scan;
+    Dnode_insert;
+    Smo;
+    Log_replay;
+    Alloc;
+    Flush_wait;
+    Recovery;
+    Svc_queue;
+    Svc_batch;
+  ]
 
 let phase_index = function
   | Trie_search -> 0
@@ -30,8 +45,10 @@ let phase_index = function
   | Alloc -> 5
   | Flush_wait -> 6
   | Recovery -> 7
+  | Svc_queue -> 8
+  | Svc_batch -> 9
 
-let n_phases = 8
+let n_phases = 10
 
 type acc = { mutable count : int; mutable self : float; nvm : Nvm.Stats.t }
 

@@ -31,6 +31,8 @@ type phase =
   | Alloc  (** persistent allocator *)
   | Flush_wait  (** simulated stall in sfence (media write drain) *)
   | Recovery  (** post-crash recovery *)
+  | Svc_queue  (** service worker idle-waiting on its shard queue *)
+  | Svc_batch  (** service group commit: log append + fence + apply *)
 
 val phase_name : phase -> string
 

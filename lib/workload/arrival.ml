@@ -1,0 +1,26 @@
+type process = Poisson | Uniform
+
+let process_name = function Poisson -> "poisson" | Uniform -> "uniform"
+
+let process_of_string = function
+  | "poisson" -> Ok Poisson
+  | "uniform" -> Ok Uniform
+  | s -> Error (Printf.sprintf "unknown arrival process %S (poisson|uniform)" s)
+
+type t = { proc : process; rate : float; rng : Des.Rng.t }
+
+let create ~process ~rate rng =
+  if not (rate > 0.0) then invalid_arg "Arrival.create: rate must be positive";
+  { proc = process; rate; rng }
+
+let rate t = t.rate
+
+let process t = t.proc
+
+let next_gap t =
+  match t.proc with
+  | Uniform -> 1.0 /. t.rate
+  | Poisson ->
+      (* Inverse-CDF draw; [float] is in [0,1), so [1 - u] never hits 0. *)
+      let u = Des.Rng.float t.rng in
+      -.log (1.0 -. u) /. t.rate

@@ -1,0 +1,31 @@
+(** Arrival processes for open-loop load generation.
+
+    A closed-loop client issues its next request the instant the
+    previous one completes, so offered load always equals service
+    capacity and queueing is invisible.  An {e open-loop} source
+    instead emits requests on its own schedule, independent of the
+    system's progress — the setting where saturation knees, queueing
+    delay and tail-latency collapse become observable.  [t] generates
+    the inter-arrival gaps for such a source on the DES clock. *)
+
+type process =
+  | Poisson  (** exponential gaps (memoryless, bursty) — the default *)
+  | Uniform  (** deterministic gaps of exactly [1/rate] (paced) *)
+
+val process_name : process -> string
+
+val process_of_string : string -> (process, string) result
+
+type t
+
+(** [create ~process ~rate rng] — [rate] is the offered load in
+    requests per simulated second; must be positive. *)
+val create : process:process -> rate:float -> Des.Rng.t -> t
+
+val rate : t -> float
+
+val process : t -> process
+
+(** Next inter-arrival gap in seconds ([>= 0]).  Draws from [rng] for
+    {!Poisson}; deterministic for {!Uniform}. *)
+val next_gap : t -> float

@@ -14,5 +14,6 @@ let () =
       ("tree", Test_tree.suite);
       ("baselines", Test_baselines.suite);
       ("workload", Test_workload.suite);
+      ("svc", Test_svc.suite);
       ("obs", Test_obs.suite);
     ]

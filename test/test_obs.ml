@@ -202,7 +202,9 @@ let sample_entry =
     e_p9999_us = 3.0;
     e_mean_us = 1.2;
     e_max_us = 4.0;
-    e_phase_pct = List.map (fun p -> (Span.phase_name p, 12.5)) Span.all_phases;
+    e_phase_pct =
+      (let share = 100.0 /. float_of_int (List.length Span.all_phases) in
+       List.map (fun p -> (Span.phase_name p, share)) Span.all_phases);
     e_phase_us = List.map (fun p -> (Span.phase_name p, 10.0)) Span.all_phases;
     e_flushes_per_op = 2.0;
     e_flushes_elided_per_op = 0.5;

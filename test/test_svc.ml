@@ -1,0 +1,368 @@
+(* Tests for the sharded KV service layer (lib/svc): routing and
+   cross-shard scans against a single-map oracle, group-commit
+   durability (fence accounting, ring wrap, crash + replay),
+   determinism of both the closed-loop runner and the open-loop
+   engine, saturation-sweep shape, and crashmc sweeps driven through
+   the store — including batched commits where a crash mid-batch may
+   lose only the unacked tail. *)
+
+module Key = Pactree.Key
+module Store = Svc.Store
+module Engine = Svc.Engine
+module Index = Baselines.Index_intf
+module Kmap = Map.Make (struct
+  type t = Key.t
+
+  let compare = Key.compare
+end)
+
+let fastfair_backend machine ~capacity () : Store.backend =
+  let t = Baselines.Fastfair.create machine ~capacity () in
+  {
+    Store.b_index = Index.Index ((module Baselines.Fastfair.Index), t);
+    b_recover = (fun () -> Baselines.Fastfair.recover t);
+    b_invariants = (fun () -> ignore (Baselines.Fastfair.check_invariants t : int));
+    b_quiesce = ignore;
+    b_service = None;
+  }
+
+(* [span]-keyspace store with equi-spaced boundaries. *)
+let make_store ?(numa = 2) ?(shards = 3) ?(span = 1000) ?(log_entries = 64)
+    ?(capacity = 1 lsl 18) () =
+  let machine = Nvm.Machine.create ~numa_count:numa () in
+  let boundaries =
+    Array.init (shards - 1) (fun i -> Key.of_int ((i + 1) * span / shards))
+  in
+  Store.create ~machine ~boundaries
+    ~make_backend:(fun ~shard:_ ~numa:_ -> fastfair_backend machine ~capacity ())
+    ~log_entries ()
+
+(* ---------- routing + direct ops vs a map oracle ---------- *)
+
+let test_store_ops_vs_oracle () =
+  let store = make_store () in
+  let rng = Des.Rng.create ~seed:11L in
+  let model = ref Kmap.empty in
+  for _ = 1 to 800 do
+    let k = Key.of_int (Des.Rng.int rng 1000) in
+    match Des.Rng.int rng 4 with
+    | 0 ->
+        let v = Des.Rng.int rng 1_000_000 in
+        Store.insert store k v;
+        model := Kmap.add k v !model
+    | 1 ->
+        let v = Des.Rng.int rng 1_000_000 in
+        let updated = Store.update store k v in
+        Alcotest.(check bool) "update hit agrees" (Kmap.mem k !model) updated;
+        if updated then model := Kmap.add k v !model
+    | 2 ->
+        let deleted = Store.delete store k in
+        Alcotest.(check bool) "delete hit agrees" (Kmap.mem k !model) deleted;
+        model := Kmap.remove k !model
+    | _ ->
+        Alcotest.(check (option int))
+          "lookup agrees" (Kmap.find_opt k !model) (Store.lookup store k)
+  done;
+  Kmap.iter
+    (fun k v ->
+      Alcotest.(check (option int))
+        "surviving binding" (Some v) (Store.lookup store k))
+    !model;
+  (* routing actually spread the keys: every shard owns part of the map *)
+  let per_shard = Array.make (Store.shard_count store) 0 in
+  Kmap.iter
+    (fun k _ ->
+      let s = Store.shard_of_key store k in
+      per_shard.(s) <- per_shard.(s) + 1)
+    !model;
+  Array.iteri
+    (fun i c ->
+      Alcotest.(check bool) (Printf.sprintf "shard %d non-empty" i) true (c > 0))
+    per_shard
+
+let test_cross_shard_scan () =
+  let store = make_store () in
+  let rng = Des.Rng.create ~seed:12L in
+  let model = ref Kmap.empty in
+  for _ = 1 to 700 do
+    let k = Key.of_int (Des.Rng.int rng 1000) in
+    let v = Des.Rng.int rng 1_000_000 in
+    Store.insert store k v;
+    model := Kmap.add k v !model
+  done;
+  let oracle_scan k n =
+    Kmap.to_seq !model
+    |> Seq.filter (fun (k', _) -> Key.compare k' k >= 0)
+    |> Seq.take n |> List.of_seq
+  in
+  let kv = Alcotest.(pair string int) in
+  (* starts in every shard; counts that straddle one and both
+     boundaries (333 and 666), and one spanning the whole store *)
+  List.iter
+    (fun (start, n) ->
+      let k = Key.of_int start in
+      Alcotest.(check (list kv))
+        (Printf.sprintf "scan(%d, %d)" start n)
+        (oracle_scan k n) (Store.scan store k n))
+    [
+      (0, 10); (0, 1000); (300, 60); (300, 500); (650, 40); (900, 200); (999, 5);
+      (500, 0);
+    ]
+
+(* ---------- group commit: durability, fences, ring wrap ---------- *)
+
+let commit_all store writes ~batch =
+  (* route writes like the engine does: group per shard, preserve order *)
+  let per = Array.make (Store.shard_count store) [] in
+  List.iter
+    (fun w ->
+      let k = match w with Store.Put (k, _) -> k | Store.Del k -> k in
+      let s = Store.shard_of_key store k in
+      per.(s) <- w :: per.(s))
+    writes;
+  Array.iteri
+    (fun s ws ->
+      let rec go = function
+        | [] -> ()
+        | ws ->
+            let n = min batch (List.length ws) in
+            let head = List.filteri (fun i _ -> i < n) ws in
+            let tail = List.filteri (fun i _ -> i >= n) ws in
+            Store.commit_batch store ~shard:s head;
+            go tail
+      in
+      go (List.rev ws))
+    per
+
+let test_group_commit_crash_recovery () =
+  let store = make_store ~numa:1 ~log_entries:16 () in
+  let writes =
+    List.init 200 (fun i ->
+        if i mod 7 = 3 then Store.Del (Key.of_int (i - 1))
+        else Store.Put (Key.of_int i, i * 10))
+  in
+  let acked = ref 0 in
+  (* small ring (16) with 200 writes: exercises the ring-reuse
+     checkpoint guard many times over *)
+  List.iter
+    (fun w ->
+      let shard =
+        Store.shard_of_key store (match w with Store.Put (k, _) | Store.Del k -> k)
+      in
+      Store.commit_batch store ~shard ~on_durable:(fun () -> incr acked) [ w ])
+    (List.filteri (fun i _ -> i < 100) writes);
+  commit_all store (List.filteri (fun i _ -> i >= 100) writes) ~batch:4;
+  Alcotest.(check int) "every single-write batch acked" 100 !acked;
+  Alcotest.(check bool) "ring wrap forced checkpoints" true
+    (Store.checkpoint_fences store > 0);
+  (* model of the final state *)
+  let model =
+    List.fold_left
+      (fun m -> function
+        | Store.Put (k, v) -> Kmap.add k v m
+        | Store.Del k -> Kmap.remove k m)
+      Kmap.empty writes
+  in
+  Nvm.Machine.crash (Store.machine store) Nvm.Machine.Strict;
+  Store.recover store;
+  Store.invariants store;
+  Kmap.iter
+    (fun k v ->
+      Alcotest.(check (option int))
+        (Printf.sprintf "key %d after crash" (Key.to_int k))
+        (Some v) (Store.lookup store k))
+    model;
+  List.iter
+    (function
+      | Store.Del k when not (Kmap.mem k model) ->
+          Alcotest.(check (option int))
+            (Printf.sprintf "deleted key %d stays gone" (Key.to_int k))
+            None (Store.lookup store k)
+      | _ -> ())
+    writes
+
+let test_group_commit_fewer_fences () =
+  let fences_with ~batch =
+    let store = make_store ~numa:1 () in
+    let writes = List.init 128 (fun i -> Store.Put (Key.of_int i, i)) in
+    let before = Nvm.Stats.snapshot (Nvm.Machine.total_stats (Store.machine store)) in
+    commit_all store writes ~batch;
+    (Nvm.Stats.diff (Nvm.Machine.total_stats (Store.machine store)) before)
+      .Nvm.Stats.fences
+  in
+  let f1 = fences_with ~batch:1 and f8 = fences_with ~batch:8 in
+  Alcotest.(check bool)
+    (Printf.sprintf "batch=8 fences (%d) < batch=1 fences (%d)" f8 f1)
+    true (f8 < f1);
+  (* the log's own fences drop by the batching factor: at batch=1 each
+     write pays a log fence, at batch=8 every eighth does.  Index-
+     internal fences are identical across the two runs, so the total
+     must shrink by at least 128 - 128/8 - (checkpoint slack). *)
+  Alcotest.(check bool)
+    (Printf.sprintf "saves at least 100 fences (saved %d)" (f1 - f8))
+    true (f1 - f8 >= 100)
+
+(* ---------- determinism ---------- *)
+
+let check_latency_eq what l1 l2 =
+  Alcotest.(check int) (what ^ ": sample count") (Workload.Latency.count l1)
+    (Workload.Latency.count l2);
+  List.iter
+    (fun q ->
+      Alcotest.(check (float 0.0))
+        (Printf.sprintf "%s: p%g" what q)
+        (Workload.Latency.percentile l1 q)
+        (Workload.Latency.percentile l2 q))
+    [ 50.0; 99.0; 99.99 ]
+
+let runner_once sys =
+  let machine = Nvm.Machine.create ~numa_count:2 () in
+  let scale = Experiments.Scale.make ~keys:2_000 ~ops:1_500 ~thread_counts:[] in
+  let index, service = Experiments.Factory.make machine ~scale sys in
+  Workload.Runner.run ~machine ~index ?service ~mix:Workload.Ycsb.Workload_a
+    ~kind:Workload.Keyset.Int_keys ~loaded:2_000 ~ops:1_500 ~threads:4 ()
+
+let test_runner_deterministic sys () =
+  let r1 = runner_once sys and r2 = runner_once sys in
+  Alcotest.(check (float 0.0)) "throughput" r1.Workload.Runner.throughput
+    r2.Workload.Runner.throughput;
+  Alcotest.(check (float 0.0)) "elapsed" r1.Workload.Runner.elapsed
+    r2.Workload.Runner.elapsed;
+  check_latency_eq "latency" r1.Workload.Runner.latency r2.Workload.Runner.latency;
+  Alcotest.(check bool) "identical NVM traffic" true
+    (Nvm.Stats.is_zero (Nvm.Stats.diff r1.Workload.Runner.nvm r2.Workload.Runner.nvm))
+
+let svc_cfg sys =
+  let d = Experiments.Svc_run.default ~quick:true sys in
+  { d with Experiments.Svc_run.shards = 2; keys = 2_000; ops = 1_200 }
+
+let test_engine_deterministic sys () =
+  let once () = Experiments.Svc_run.run_point (svc_cfg sys) ~rate:1e6 in
+  let r1 = once () and r2 = once () in
+  Alcotest.(check int) "generated" r1.Engine.r_generated r2.Engine.r_generated;
+  Alcotest.(check int) "completed" r1.Engine.r_completed r2.Engine.r_completed;
+  Alcotest.(check int) "rejected" r1.Engine.r_rejected r2.Engine.r_rejected;
+  Alcotest.(check (float 0.0)) "elapsed" r1.Engine.r_elapsed r2.Engine.r_elapsed;
+  Alcotest.(check (float 0.0)) "throughput" r1.Engine.r_throughput
+    r2.Engine.r_throughput;
+  Alcotest.(check (array int)) "per-shard completions" r1.Engine.r_shard_completed
+    r2.Engine.r_shard_completed;
+  Alcotest.(check int) "batches" r1.Engine.r_batches r2.Engine.r_batches;
+  Alcotest.(check int) "batched writes" r1.Engine.r_batched_writes
+    r2.Engine.r_batched_writes;
+  check_latency_eq "queue" r1.Engine.r_queue_lat r2.Engine.r_queue_lat;
+  check_latency_eq "service" r1.Engine.r_service_lat r2.Engine.r_service_lat;
+  check_latency_eq "total" r1.Engine.r_total_lat r2.Engine.r_total_lat;
+  Alcotest.(check bool) "identical NVM traffic" true
+    (Nvm.Stats.is_zero (Nvm.Stats.diff r1.Engine.r_nvm r2.Engine.r_nvm))
+
+(* ---------- closed loop + saturation sweep shape ---------- *)
+
+let test_closed_loop () =
+  let cfg = svc_cfg Experiments.Factory.Fastfair_sys in
+  let store = Experiments.Svc_run.make_store cfg in
+  let start =
+    Engine.load ~store ~kind:cfg.Experiments.Svc_run.kind
+      ~keys:cfg.Experiments.Svc_run.keys ()
+  in
+  let config =
+    {
+      (Experiments.Svc_run.engine_config cfg ~rate:1e6) with
+      Engine.mode = Engine.Closed_loop { clients = 8 };
+    }
+  in
+  let r = Engine.run ~store ~config ~start () in
+  Alcotest.(check int) "all generated" cfg.Experiments.Svc_run.ops
+    r.Engine.r_generated;
+  Alcotest.(check int) "closed loop rejects nothing" 0 r.Engine.r_rejected;
+  Alcotest.(check int) "all completed" r.Engine.r_generated r.Engine.r_completed;
+  Alcotest.(check bool) "made progress" true (r.Engine.r_throughput > 0.0)
+
+let test_sweep_shape () =
+  let cfg = svc_cfg Experiments.Factory.Fastfair_sys in
+  let points = Experiments.Svc_run.sweep cfg in
+  (match Experiments.Svc_run.check_sweep points with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "sweep shape: %s" msg);
+  match Obs.Svc_report.validate (Experiments.Svc_run.report cfg points) with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "report schema: %s" msg
+
+(* ---------- crashmc over the sharded store ---------- *)
+
+let crashmc_store () =
+  (* tiny pools: every materialised crash state blits every pool *)
+  make_store ~numa:1 ~shards:2 ~span:1000 ~log_entries:16 ~capacity:(1 lsl 18) ()
+
+let crashmc_sut store =
+  Crashmc.Sut.custom ~name:"svc-store[fastfair x2]" ~machine:(Store.machine store)
+    ~index:(Store.as_index store)
+    ~recover:(fun () -> Store.recover store)
+    ~invariants:(fun () -> Store.invariants store)
+    ~quiesce:(fun () -> Store.quiesce store)
+    ()
+
+let seed () = Int64.to_int (Des.Rng.env_seed ~default:1L)
+
+let run_crashmc ?batch ?apply store =
+  let sut = crashmc_sut store in
+  let r =
+    Crashmc.Harness.run ~budget_per_point:16 ~max_states:2_500 ~seed:(seed ()) ?batch
+      ?apply ~sut
+      ~ops:(Crashmc.Harness.mixed_workload ~seed:(seed ()) 24)
+      ()
+  in
+  if not (Crashmc.Harness.ok r) then
+    Alcotest.failf "%a@.seed %d (override with PACTREE_SEED)" Crashmc.Harness.pp_report
+      r (seed ())
+
+let test_crashmc_direct () = run_crashmc (crashmc_store ())
+
+let test_crashmc_batched () =
+  let store = crashmc_store () in
+  let apply chunk =
+    let per = Array.make (Store.shard_count store) [] in
+    List.iter
+      (fun op ->
+        let s = Store.shard_of_key store (Crashmc.Oracle.op_key op) in
+        per.(s) <- op :: per.(s))
+      chunk;
+    Array.iteri
+      (fun s ops ->
+        match List.rev ops with
+        | [] -> ()
+        | ops ->
+            Store.commit_batch store ~shard:s
+              (List.map
+                 (function
+                   | Crashmc.Oracle.Insert (k, v) -> Store.Put (k, v)
+                   | Crashmc.Oracle.Delete k -> Store.Del k)
+                 ops))
+      per
+  in
+  run_crashmc ~batch:4 ~apply store
+
+let suite =
+  [
+    Alcotest.test_case "store: routed ops vs map oracle" `Quick
+      test_store_ops_vs_oracle;
+    Alcotest.test_case "store: cross-shard ordered scan" `Quick test_cross_shard_scan;
+    Alcotest.test_case "store: group commit survives crash (ring wrap)" `Quick
+      test_group_commit_crash_recovery;
+    Alcotest.test_case "store: group commit reduces fences" `Quick
+      test_group_commit_fewer_fences;
+    Alcotest.test_case "runner: deterministic (pactree)" `Quick
+      (test_runner_deterministic Experiments.Factory.Pactree_sys);
+    Alcotest.test_case "runner: deterministic (fastfair)" `Quick
+      (test_runner_deterministic Experiments.Factory.Fastfair_sys);
+    Alcotest.test_case "engine: deterministic (pactree)" `Quick
+      (test_engine_deterministic Experiments.Factory.Pactree_sys);
+    Alcotest.test_case "engine: deterministic (fastfair)" `Quick
+      (test_engine_deterministic Experiments.Factory.Fastfair_sys);
+    Alcotest.test_case "engine: closed loop completes everything" `Quick
+      test_closed_loop;
+    Alcotest.test_case "engine: saturation sweep shape" `Quick test_sweep_shape;
+    Alcotest.test_case "crashmc: sharded store, direct ops" `Quick test_crashmc_direct;
+    Alcotest.test_case "crashmc: sharded store, batched commits" `Quick
+      test_crashmc_batched;
+  ]

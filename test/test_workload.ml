@@ -212,6 +212,84 @@ let test_runner_scaling_shape () =
     (Printf.sprintf "8 threads faster than 1 (%.2f vs %.2f Mops)" (t8 /. 1e6) (t1 /. 1e6))
     true (t8 > t1 *. 2.0)
 
+(* ---------- qcheck properties for the Zipf generator ---------- *)
+
+let zipf_counts ~scramble ~n ~theta ~seed ~draws =
+  let rng = Des.Rng.create ~seed:(Int64.of_int seed) in
+  let z = Workload.Zipf.create ~scramble ~n ~theta rng in
+  let counts = Array.make n 0 in
+  for _ = 1 to draws do
+    let v = Workload.Zipf.next z in
+    if v < 0 || v >= n then QCheck.Test.fail_reportf "out of range: %d (n=%d)" v n;
+    counts.(v) <- counts.(v) + 1
+  done;
+  counts
+
+(* Unscrambled rank frequencies are monotone non-increasing in rank,
+   up to multinomial noise (5-sigma one-sided slack per adjacent
+   pair, so a genuine inversion of the underlying distribution fails
+   while sampling jitter between near-equal ranks does not). *)
+let test_zipf_prop_monotone =
+  QCheck.Test.make ~name:"zipf: rank frequencies monotone (unscrambled)" ~count:25
+    QCheck.(triple (int_range 2 40) (int_range 20 99) small_nat)
+    (fun (n, theta_pct, seed) ->
+      let theta = float_of_int theta_pct /. 100.0 in
+      let counts = zipf_counts ~scramble:false ~n ~theta ~seed ~draws:20_000 in
+      Array.iteri
+        (fun i c ->
+          if i + 1 < n then begin
+            let next = counts.(i + 1) in
+            let slack = (5.0 *. sqrt (float_of_int (c + next + 1))) +. 10.0 in
+            if float_of_int next > float_of_int c +. slack then
+              QCheck.Test.fail_reportf
+                "rank %d drawn %d times but rank %d drawn %d (n=%d theta=%.2f)" i c
+                (i + 1) next n theta
+          end)
+        counts;
+      true)
+
+(* theta = 0 degenerates to uniform: a chi-square statistic over the
+   item counts stays within 5 sigma of its df = n-1 expectation. *)
+let test_zipf_prop_theta0_uniform =
+  QCheck.Test.make ~name:"zipf: theta=0 is uniform (chi-square)" ~count:25
+    QCheck.(triple (int_range 2 100) bool small_nat)
+    (fun (n, scramble, seed) ->
+      let draws = 50 * n in
+      let counts = zipf_counts ~scramble ~n ~theta:0.0 ~seed ~draws in
+      let expected = float_of_int draws /. float_of_int n in
+      let chi2 =
+        Array.fold_left
+          (fun acc c ->
+            let d = float_of_int c -. expected in
+            acc +. (d *. d /. expected))
+          0.0 counts
+      in
+      let df = float_of_int (n - 1) in
+      let bound = df +. (5.0 *. sqrt (2.0 *. df)) +. 10.0 in
+      if chi2 > bound then
+        QCheck.Test.fail_reportf "chi2 %.1f > %.1f (n=%d, scramble=%b)" chi2 bound n
+          scramble;
+      true)
+
+(* Draws stay in [0, n) at the size boundaries: n = 1 (only 0), n = 2,
+   and a key-space much larger than the sample count. *)
+let test_zipf_prop_boundary_sizes =
+  QCheck.Test.make ~name:"zipf: in range at size boundaries" ~count:25
+    QCheck.(triple bool (int_range 20 99) small_nat)
+    (fun (scramble, theta_pct, seed) ->
+      let theta = float_of_int theta_pct /. 100.0 in
+      let one = zipf_counts ~scramble ~n:1 ~theta ~seed ~draws:500 in
+      if one.(0) <> 500 then QCheck.Test.fail_reportf "n=1 must always draw 0";
+      ignore (zipf_counts ~scramble ~n:2 ~theta ~seed ~draws:500 : int array);
+      let rng = Des.Rng.create ~seed:(Int64.of_int seed) in
+      let z = Workload.Zipf.create ~scramble ~n:1_000_000 ~theta rng in
+      for _ = 1 to 2_000 do
+        let v = Workload.Zipf.next z in
+        if v < 0 || v >= 1_000_000 then
+          QCheck.Test.fail_reportf "out of range at n=1e6: %d" v
+      done;
+      true)
+
 let suite =
   [
     Alcotest.test_case "zipf: bounds" `Quick test_zipf_bounds;
@@ -227,4 +305,7 @@ let suite =
     Alcotest.test_case "runner: all five indexes run C" `Quick
       test_runner_all_indexes_agree_on_c;
     Alcotest.test_case "runner: thread scaling shape" `Quick test_runner_scaling_shape;
+    QCheck_alcotest.to_alcotest test_zipf_prop_monotone;
+    QCheck_alcotest.to_alcotest test_zipf_prop_theta0_uniform;
+    QCheck_alcotest.to_alcotest test_zipf_prop_boundary_sizes;
   ]
