@@ -52,35 +52,57 @@ let check ~history ~at ~lookup ~scan ~invariants =
   (try invariants ()
    with exn -> fail "invariant check failed: %s" (Printexc.to_string exn));
   let decided, inflight, universe = split_at history ~at in
-  let allowed k =
-    let base = KMap.find_opt k decided in
-    (* Applying any in-order prefix of the in-flight ops leaves [k] at
-       [base] (no op on [k] applied yet) or at the effect of whichever
-       op on [k] came last in that prefix — i.e. any single in-flight
-       effect on [k] is reachable, since each op overwrites wholesale. *)
-    base
-    :: List.filter_map
-         (function
-           | Insert (k', v') when Key.equal k k' -> Some (Some v')
-           | Delete k' when Key.equal k k' -> Some None
-           | _ -> None)
-         inflight
+  (* Reachable states: the decided map plus some in-order prefix of
+     the in-flight ops, applied jointly.  Recovery replays the
+     interrupted batch up to its first hole, so e.g. the second batch
+     member cannot have applied without the first — validating keys
+     independently would accept exactly such hole-skipping states.
+     [states.(i)] is the map after the length-[i] prefix. *)
+  let nprefix = List.length inflight + 1 in
+  let states = Array.make nprefix decided in
+  List.iteri (fun i op -> states.(i + 1) <- apply states.(i) op) inflight;
+  let value_at i k = KMap.find_opt k states.(i) in
+  let all_prefixes = List.init nprefix Fun.id in
+  let values_over prefixes k =
+    List.sort_uniq compare (List.map (fun i -> value_at i k) prefixes)
   in
+  let observed = ref [] and lookups_clean = ref true in
   let check_key k =
-    let want = allowed k in
     match lookup k with
     | got ->
-        if not (List.mem got want) then
+        observed := (k, got) :: !observed;
+        let want = values_over all_prefixes k in
+        if not (List.mem got want) then begin
+          lookups_clean := false;
           fail "key %a: lookup %s, expected one of {%s}"
             (fun () k -> Format.asprintf "%a" Key.pp k)
             k (pp_value got)
             (String.concat ", " (List.map pp_value want))
+        end
     | exception exn ->
+        lookups_clean := false;
         fail "key %a: lookup raised %s"
           (fun () k -> Format.asprintf "%a" Key.pp k)
           k (Printexc.to_string exn)
   in
   KMap.iter (fun k () -> check_key k) universe;
+  (* Joint consistency: one prefix must explain every lookup at once. *)
+  let feasible =
+    List.filter
+      (fun i -> List.for_all (fun (k, got) -> value_at i k = got) !observed)
+      all_prefixes
+  in
+  if feasible = [] && !lookups_clean then
+    fail
+      "state matches no in-order prefix of the %d in-flight ops: every key is \
+       individually reachable but no single prefix explains all lookups jointly"
+      (List.length inflight);
+  (* Scans read the same recovered image as the lookups, so pin them
+     to the lookup-feasible prefixes; if none survived, earlier
+     violations already cover it — fall back to all prefixes rather
+     than cascade noise. *)
+  let prefixes = if feasible = [] then all_prefixes else feasible in
+  let allowed k = values_over prefixes k in
   (* Range scan: complete, duplicate-free, sorted, no phantoms. *)
   let scan_from = Option.map fst (KMap.min_binding_opt universe) in
   (match scan_from with
@@ -117,11 +139,7 @@ let check ~history ~at ~lookup ~scan ~invariants =
           let seen = List.fold_left (fun m (k, _) -> KMap.add k () m) KMap.empty results in
           KMap.iter
             (fun k _ ->
-              let may_be_absent =
-                List.exists
-                  (function Delete k' -> Key.equal k k' | _ -> false)
-                  inflight
-              in
+              let may_be_absent = List.mem None (allowed k) in
               if (not may_be_absent) && not (KMap.mem k seen) then
                 fail "scan: acknowledged key %a missing" (fun () k ->
                     Format.asprintf "%a" Key.pp k)

@@ -8,10 +8,12 @@
     - every operation that completed before the crash is acknowledged
       and its effect must survive recovery;
     - operations spanning the crash are {e in flight}: any in-order
-      prefix of them may have taken effect, nothing else.  A single-
-      writer history has at most one; a group-commit batch puts every
-      member of the interrupted batch in flight (the harness tags them
-      with the batch's shared trace window);
+      prefix of them may have taken effect, nothing else — checked
+      jointly across keys, so a state where a later batch member
+      applied without an earlier one is rejected.  A single-writer
+      history has at most one; a group-commit batch puts every member
+      of the interrupted batch in flight (the harness tags them with
+      the batch's shared trace window);
     - no other key may appear, scans must be sorted, complete and
       phantom-free, and the index's own invariant checker must pass. *)
 

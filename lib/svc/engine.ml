@@ -252,7 +252,10 @@ let run ~store ~config:cfg ?(start = 0.0) ?obs () =
                   Obs.Span.with_phase Obs.Span.Svc_batch (fun () ->
                       Store.commit_batch store ~shard
                         ~on_durable:(fun () ->
-                          (* ack point: the batch's one log fence *)
+                          (* ack point: durable since the batch's one
+                             log fence and already applied to the
+                             index, so acked writes are visible to
+                             reads on any worker (read-your-writes) *)
                           Des.Sched.delay 0.0;
                           let t = Des.Sched.now sched in
                           List.iter (finish ~shard ~t) writes)

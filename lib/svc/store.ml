@@ -217,8 +217,9 @@ let as_index t = Index.Index ((module Index_impl : Index.S with type t = t), t)
 
 (* ---------- group commit ---------- *)
 
-let entry_obj s seq =
-  Pobj.make s.s_log (meta_size + (((seq - 1) mod s.s_entries) * entry_size))
+let slot_obj s slot = Pobj.make s.s_log (meta_size + (slot * entry_size))
+
+let entry_obj s seq = slot_obj s ((seq - 1) mod s.s_entries)
 
 let meta_obj s = Pobj.make s.s_log 0
 
@@ -292,10 +293,12 @@ let commit_batch t ~shard ?on_durable writes =
             writes;
           (* the one fence covering the whole batch: durability point *)
           Nvm.Pool.fence s.s_log;
-          (match on_durable with Some f -> f () | None -> ());
-          (* apply with the index's normal internal persistence *)
+          (* apply with the index's normal internal persistence before
+             acknowledging, so an acked write is already visible to
+             concurrent readers (read-your-writes at ack) *)
           List.iter (apply s) writes;
           s.s_applied <- s.s_head - 1;
+          (match on_durable with Some f -> f () | None -> ());
           put_watermark s s.s_applied)
 
 (* ---------- recovery / maintenance ---------- *)
@@ -311,6 +314,22 @@ let recover_shard s =
     | None -> seq - 1
   in
   let last = replay (wm + 1) in
+  (* Scrub orphans past the replay tail.  Entry lines are clwb'd but
+     only fenced once per batch, so a crashed in-flight batch can
+     persist entry seq [last + k] without [last + k - 1] (k > 1).
+     Such a ghost holds exactly the seq a future committed write will
+     use: left in place, a second crash would replay it as if it were
+     that write, resurrecting an unacknowledged op over acknowledged
+     state.  Zeroing the seq word is enough — read_entry then treats
+     the slot as never written.  The clwbs ride the checkpoint fence
+     below. *)
+  for slot = 0 to s.s_entries - 1 do
+    let o = slot_obj s slot in
+    if Pobj.get_int o f_seq > last then begin
+      Pobj.set_int o f_seq 0;
+      Pobj.clwb o 0
+    end
+  done;
   s.s_head <- last + 1;
   s.s_applied <- last;
   checkpoint s

@@ -16,13 +16,20 @@
     engine instead calls {!commit_batch}: the batch's writes are
     appended to the shard's persistent redo log (one 64-byte entry per
     write, sequence word stored last so a torn entry is detectable),
-    then a {e single} fence makes the whole batch durable — that fence
-    is the acknowledgement point — and only then are the writes applied
-    to the index with its normal internal persistence.  An applied-
-    watermark is stored + flushed lazily (it rides the next batch's
-    fence); {!recover} replays the log from the persisted watermark,
-    stopping at the first entry whose sequence number does not match,
-    so a crash during a batched commit loses at most the unacked ops of
+    then a {e single} fence makes the whole batch durable, then the
+    writes are applied to the index with its normal internal
+    persistence, and only then is the batch acknowledged — an acked
+    write is both durable and visible to concurrent readers
+    (read-your-writes at ack).  An applied-watermark is stored +
+    flushed lazily (it rides the next batch's fence); {!recover}
+    replays the log from the persisted watermark, stopping at the
+    first entry whose sequence number does not match, then scrubs any
+    orphaned entries past that point (entry lines persist
+    independently before the batch fence, so a later entry of the
+    interrupted batch may survive without an earlier one; its sequence
+    number is exactly one a future committed write will use, and
+    without scrubbing a second crash would resurrect it).  A crash
+    during a batched commit therefore loses at most the unacked ops of
     the interrupted batch and replay is idempotent.  When the ring is
     about to reuse slots replay might still need, the watermark is
     checkpointed with its own fence first (amortised over
@@ -100,11 +107,11 @@ val as_index : t -> Baselines.Index_intf.index
 type write = Put of Pactree.Key.t * int | Del of Pactree.Key.t
 
 (** [commit_batch t ~shard ?on_durable writes] — append [writes] to
-    shard's redo log, fence once (then call [on_durable]: the batch is
-    acknowledged), then apply to the index.  Serialised per shard by a
-    mutex (also usable outside a scheduler, where locking is
-    uncontended — e.g. from the crashmc harness).  All keys must
-    belong to [shard]. *)
+    shard's redo log, fence once (durability point), apply to the
+    index, then call [on_durable]: the batch is acknowledged durable
+    {e and} visible.  Serialised per shard by a mutex (also usable
+    outside a scheduler, where locking is uncontended — e.g. from the
+    crashmc harness).  All keys must belong to [shard]. *)
 val commit_batch : t -> shard:int -> ?on_durable:(unit -> unit) -> write list -> unit
 
 (** Fences spent checkpointing watermarks (ring-reuse guards), summed
@@ -114,7 +121,9 @@ val checkpoint_fences : t -> int
 (** {2 Whole-store maintenance} *)
 
 (** Recover every shard after {!Nvm.Machine.crash}: backend recovery,
-    then idempotent redo-log replay from the persisted watermark. *)
+    idempotent redo-log replay from the persisted watermark, then a
+    scrub of orphaned entries past the replay tail (so a ghost from
+    the interrupted batch cannot be resurrected by a later crash). *)
 val recover : t -> unit
 
 val invariants : t -> unit

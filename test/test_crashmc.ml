@@ -5,6 +5,8 @@
 
 module Harness = Crashmc.Harness
 module Sut = Crashmc.Sut
+module Oracle = Crashmc.Oracle
+module Key = Pactree.Key
 
 let seed () = Int64.to_int (Des.Rng.env_seed ~default:1L)
 
@@ -59,8 +61,54 @@ let test_mutation_teeth kind () =
     Alcotest.failf "no dropped-clwb mutant caught on %s — checker has no teeth (seed %d)"
       (Sut.name kind) (seed ())
 
+(* The in-flight window accepts exactly the in-order prefixes of the
+   interrupted batch, jointly across keys: a state where a later batch
+   member applied without an earlier one (replay skipping a hole) must
+   be rejected even though each key's value is individually
+   reachable. *)
+let test_oracle_prefix_only () =
+  let ka = Key.of_int 1 and kb = Key.of_int 2 and kc = Key.of_int 3 in
+  let history =
+    [
+      (* completed before the crash window: decided *)
+      { Oracle.op = Oracle.Insert (kc, 7); start_seq = 0; end_seq = 1 };
+      (* a two-op batch sharing one trace window, in flight at [at=2] *)
+      { Oracle.op = Oracle.Insert (ka, 1); start_seq = 1; end_seq = 3 };
+      { Oracle.op = Oracle.Insert (kb, 2); start_seq = 1; end_seq = 3 };
+    ]
+  in
+  let violations state =
+    let state = List.sort (fun (a, _) (b, _) -> Key.compare a b) state in
+    Oracle.check ~history ~at:2
+      ~lookup:(fun k ->
+        Option.map snd (List.find_opt (fun (k', _) -> Key.equal k k') state))
+      ~scan:(fun k n ->
+        List.filteri
+          (fun i _ -> i < n)
+          (List.filter (fun (k', _) -> Key.compare k' k >= 0) state))
+      ~invariants:(fun () -> ())
+  in
+  List.iter
+    (fun (label, state) ->
+      Alcotest.(check (list string)) label [] (violations state))
+    [
+      ("prefix 0 accepted", [ (kc, 7) ]);
+      ("prefix 1 accepted", [ (kc, 7); (ka, 1) ]);
+      ("prefix 2 accepted", [ (kc, 7); (ka, 1); (kb, 2) ]);
+    ];
+  List.iter
+    (fun (label, state) ->
+      Alcotest.(check bool) label true (violations state <> []))
+    [
+      ("hole-skipping state rejected", [ (kc, 7); (kb, 2) ]);
+      ("decided op lost rejected", [ (ka, 1); (kb, 2) ]);
+      ("unreachable value rejected", [ (kc, 7); (ka, 99) ]);
+    ]
+
 let suite =
   [
+    Alcotest.test_case "oracle: joint in-order-prefix check" `Quick
+      test_oracle_prefix_only;
     Alcotest.test_case "mixed trace, all indexes" `Quick test_mixed;
     Alcotest.test_case "split-heavy trace" `Quick test_splits;
     Alcotest.test_case "mutation teeth (fastfair)" `Quick

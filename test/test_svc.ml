@@ -318,29 +318,115 @@ let run_crashmc ?batch ?apply store =
 
 let test_crashmc_direct () = run_crashmc (crashmc_store ())
 
+(* Route a chunk of oracle ops through [commit_batch], grouped per
+   shard in program order — the engine's batching, minus the DES. *)
+let commit_ops_batched store chunk =
+  let per = Array.make (Store.shard_count store) [] in
+  List.iter
+    (fun op ->
+      let s = Store.shard_of_key store (Crashmc.Oracle.op_key op) in
+      per.(s) <- op :: per.(s))
+    chunk;
+  Array.iteri
+    (fun s ops ->
+      match List.rev ops with
+      | [] -> ()
+      | ops ->
+          Store.commit_batch store ~shard:s
+            (List.map
+               (function
+                 | Crashmc.Oracle.Insert (k, v) -> Store.Put (k, v)
+                 | Crashmc.Oracle.Delete k -> Store.Del k)
+               ops))
+    per
+
 let test_crashmc_batched () =
   let store = crashmc_store () in
-  let apply chunk =
-    let per = Array.make (Store.shard_count store) [] in
-    List.iter
-      (fun op ->
-        let s = Store.shard_of_key store (Crashmc.Oracle.op_key op) in
-        per.(s) <- op :: per.(s))
-      chunk;
-    Array.iteri
-      (fun s ops ->
-        match List.rev ops with
-        | [] -> ()
-        | ops ->
-            Store.commit_batch store ~shard:s
-              (List.map
-                 (function
-                   | Crashmc.Oracle.Insert (k, v) -> Store.Put (k, v)
-                   | Crashmc.Oracle.Delete k -> Store.Del k)
-                 ops))
-      per
+  run_crashmc ~batch:4 ~apply:(commit_ops_batched store) store
+
+(* Double crash: log-entry lines of an interrupted batch persist
+   independently (clwb, one fence per batch), so a crash image can
+   hold entry seq N+k without N — past the replay truncation point.
+   Recovery must scrub such ghosts: their seq is exactly one a future
+   committed write will use, and an unscrubbed ghost would be replayed
+   after a second crash, resurrecting an unacknowledged op over
+   acknowledged state.
+
+   The trace covers only the final batch, so the crash point before
+   its log fence has exactly the four entry lines pending and a large
+   budget sweeps their survivor combinations exhaustively — including
+   every hole-then-survivor (ghost) pattern.  For each image: recover,
+   snapshot, commit [j] fresh acknowledged writes, crash again,
+   recover, and require the state to be exactly snapshot + the fresh
+   writes.  [j] runs over 1..3 because a ghost at distance [d] past
+   the replay tail is only reached by replay when exactly [d - 1]
+   committed seqs precede it (fewer: replay stops at the hole; more:
+   the ghost slot is overwritten). *)
+let test_double_crash_no_ghost () =
+  let store = make_store ~numa:1 ~shards:2 ~span:1000 ~log_entries:32 () in
+  let machine = Store.machine store in
+  let prior =
+    List.init 24 (fun i -> Store.Put (Key.of_int (i * 41 mod 1000), i))
   in
-  run_crashmc ~batch:4 ~apply store
+  List.iter
+    (fun w ->
+      let k = match w with Store.Put (k, _) -> k | Store.Del k -> k in
+      Store.commit_batch store ~shard:(Store.shard_of_key store k) [ w ])
+    prior;
+  (* final batch: 4 writes, all owned by shard 1 *)
+  let batch_keys = List.map Key.of_int [ 600; 610; 620; 630 ] in
+  let trace = Crashmc.Trace.start machine in
+  Store.commit_batch store ~shard:1
+    (List.mapi (fun i k -> Store.Put (k, 9000 + i)) batch_keys);
+  Crashmc.Trace.stop trace;
+  let history_keys =
+    List.sort_uniq Key.compare
+      (batch_keys
+      @ List.map (function Store.Put (k, _) -> k | Store.Del k -> k) prior)
+  in
+  let fresh_keys = List.map Key.of_int [ 601; 611; 621 ] in
+  let checked = ref 0 in
+  ignore
+    (Crashmc.Enum.iter ~budget_per_point:4096
+       ~seed:(Int64.of_int (seed ()))
+       ~trace
+       ~f:(fun st ->
+         incr checked;
+         for j = 1 to 3 do
+           st.Crashmc.Enum.restore ();
+           Store.recover store;
+           let snap = List.map (fun k -> (k, Store.lookup store k)) history_keys in
+           List.iteri
+             (fun i k ->
+               if i < j then
+                 Store.commit_batch store ~shard:1
+                   [ Store.Put (k, 1_000_000 + (j * 10) + i) ])
+             fresh_keys;
+           Nvm.Machine.crash machine Nvm.Machine.Strict;
+           Store.recover store;
+           Store.invariants store;
+           List.iteri
+             (fun i k ->
+               if i < j then
+                 Alcotest.(check (option int))
+                   (Printf.sprintf
+                      "[at=%d %s j=%d] acked post-recovery write %d survives"
+                      st.Crashmc.Enum.at st.Crashmc.Enum.label j (Key.to_int k))
+                   (Some (1_000_000 + (j * 10) + i))
+                   (Store.lookup store k))
+             fresh_keys;
+           List.iter
+             (fun (k, v) ->
+               Alcotest.(check (option int))
+                 (Printf.sprintf "[at=%d %s j=%d] key %d unchanged by second crash"
+                    st.Crashmc.Enum.at st.Crashmc.Enum.label j (Key.to_int k))
+                 v (Store.lookup store k))
+             snap
+         done;
+         if !checked >= 1600 then raise Crashmc.Enum.Stop)
+       ()
+      : Crashmc.Enum.stats);
+  Alcotest.(check bool) "swept enough crash states" true (!checked >= 200)
 
 let suite =
   [
@@ -365,4 +451,6 @@ let suite =
     Alcotest.test_case "crashmc: sharded store, direct ops" `Quick test_crashmc_direct;
     Alcotest.test_case "crashmc: sharded store, batched commits" `Quick
       test_crashmc_batched;
+    Alcotest.test_case "crashmc: double crash replays no ghost entries" `Quick
+      test_double_crash_no_ghost;
   ]
